@@ -1,0 +1,60 @@
+"""Ablation — sensitivity of the results to the soft:hard error mix.
+
+The paper's dataset is roughly balanced between soft and hard *errors*
+(inferred from its 43% SBIST-invocation reduction at 86% soft
+accuracy).  Physical transient:permanent fault rates vary by orders of
+magnitude across deployments, so this ablation sweeps the soft share
+of the error dataset and reports how the headline speedups move:
+
+* more soft errors  -> pred-comb's type prediction matters more;
+* more hard errors  -> pred-location-only's ordering matters more.
+"""
+
+import numpy as np
+
+from repro.analysis import evaluate_campaign
+from repro.faults.campaign import CampaignResult
+from repro.faults.models import ErrorType
+
+
+def _reweighted(campaign, soft_share: float, rng) -> CampaignResult:
+    soft = [r for r in campaign.records if r.error_type is ErrorType.SOFT]
+    hard = [r for r in campaign.records if r.error_type is ErrorType.HARD]
+    if soft_share >= 0.5:
+        keep_hard = int(len(soft) * (1 - soft_share) / soft_share)
+        idx = rng.choice(len(hard), size=min(keep_hard, len(hard)), replace=False)
+        records = soft + [hard[i] for i in sorted(idx)]
+    else:
+        keep_soft = int(len(hard) * soft_share / (1 - soft_share))
+        idx = rng.choice(len(soft), size=min(keep_soft, len(soft)), replace=False)
+        records = [soft[i] for i in sorted(idx)] + hard
+    return CampaignResult(
+        config=campaign.config, records=records, injected=campaign.injected,
+        golden_cycles=campaign.golden_cycles, sampled_flops=campaign.sampled_flops)
+
+
+def test_balance_sensitivity(benchmark, campaign, report):
+    rng = np.random.default_rng(0)
+    lines = ["Ablation — soft share of the error dataset vs headline speedups",
+             "  soft%   pred-loc vs base-manifest   pred-comb vs base-manifest"]
+    speedups = {}
+    for share in (0.2, 0.35, 0.5, 0.65, 0.8):
+        sub = _reweighted(campaign, share, rng)
+        ev = evaluate_campaign(sub, seed=0)
+        loc = ev.speedup("pred-location-only", "base-manifest")
+        comb = ev.speedup("pred-comb", "base-manifest")
+        speedups[share] = (loc, comb)
+        lines.append(f"  {share:4.0%}   {loc:26.0%}   {comb:26.0%}")
+
+    benchmark.pedantic(evaluate_campaign,
+                       args=(_reweighted(campaign, 0.5, rng),),
+                       rounds=1, iterations=1)
+
+    # Location-only gains grow as hard errors dominate (order matters
+    # only when there is a stuck-at to find).
+    assert speedups[0.2][0] > speedups[0.8][0]
+    # pred-comb stays the winner across the whole sweep.
+    for loc, comb in speedups.values():
+        assert comb > loc
+        assert comb > 0.15
+    report("ablation_balance", "\n".join(lines))

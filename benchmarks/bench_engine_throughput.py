@@ -1,0 +1,76 @@
+"""Simulator throughput micro-benchmarks (framework performance).
+
+These are genuine pytest-benchmark timings of the hot paths that set
+the campaign's wall-clock cost: the flip-flop-level CPU step, the
+lockstep compare, the golden-trace build and one differential
+injection.
+"""
+
+import numpy as np
+
+from repro.cpu import Cpu, FlopRef, Memory
+from repro.cpu.memory import InputStream
+from repro.faults import Fault, FaultKind, GoldenTrace, InjectionEngine
+from repro.lockstep import LockstepChecker
+from repro.workloads import KERNELS, build
+
+
+def _fresh_cpu():
+    program, stimulus = build(KERNELS["ttsprk"])
+    return Cpu(Memory.from_program(program, size_words=2048),
+               InputStream(stimulus.values), entry=program.entry)
+
+
+def test_cpu_step_throughput(benchmark):
+    cpu = _fresh_cpu()
+
+    def run_block():
+        for _ in range(1000):
+            cpu.step()
+        if cpu.halted:
+            cpu.reset()
+
+    benchmark(run_block)
+
+
+def test_snapshot_throughput(benchmark):
+    cpu = _fresh_cpu()
+    cpu.run(100)
+    benchmark(cpu.snapshot)
+
+
+def test_lockstep_compare_throughput(benchmark):
+    cpu = _fresh_cpu()
+    out = cpu.outputs()
+    checker = LockstepChecker()
+
+    def compare_block():
+        for _ in range(1000):
+            checker.compare(out, out)
+
+    benchmark(compare_block)
+
+
+def test_golden_trace_build(benchmark):
+    benchmark.pedantic(GoldenTrace, args=(KERNELS["ttsprk"],),
+                       rounds=2, iterations=1)
+
+
+def test_injection_throughput(benchmark):
+    golden = GoldenTrace(KERNELS["ttsprk"])
+    engine = InjectionEngine(golden, max_observe=2000)
+    rng = np.random.default_rng(0)
+    from repro.cpu.units import all_flops
+    flops = all_flops()
+    faults = [
+        Fault(flops[int(rng.integers(len(flops)))],
+              [FaultKind.SOFT, FaultKind.STUCK0, FaultKind.STUCK1][int(rng.integers(3))],
+              int(rng.integers(golden.n_cycles - 1)))
+        for _ in range(50)
+    ]
+
+    def inject_block():
+        return sum(1 for f in faults if engine.inject(f) is not None)
+
+    manifested = benchmark(inject_block)
+    assert 0 < manifested <= len(faults)

@@ -1,0 +1,35 @@
+"""Figures 12/13 — predicting fewer CPU units (7-unit organisation).
+
+Paper reference shape:
+    Fig 12: location accuracy ~70% at K=1, ~85% at K=2, ~95% at K=3,
+    ~99% beyond; Fig 13: LERT tracks accuracy, sweet spot K=3..4 with
+    60-63% speedup over base-ascending, saturating afterwards.
+    Storage drops to ~1.5-2 KB at the sweet spot.
+"""
+
+from repro.analysis import topk_sweep
+from repro.analysis.reports import render_topk
+
+
+def test_fig12_13(benchmark, campaign, report):
+    sweep = benchmark.pedantic(topk_sweep, args=(campaign,),
+                               kwargs={"ks": list(range(1, 8))},
+                               rounds=1, iterations=1)
+
+    accs = [sweep[k].location_accuracy for k in range(1, 8)]
+    # Fig 12 shape: monotone saturating curve reaching ~100%.
+    assert all(b >= a - 1e-9 for a, b in zip(accs, accs[1:]))
+    assert accs[0] > 0.4
+    assert accs[2] > accs[0]
+    assert accs[-1] == 1.0
+
+    # Fig 13 shape: LERT saturates; full-K no better than the knee by much.
+    lerts = [sweep[k].strategies["pred-comb"].mean_lert for k in range(1, 8)]
+    assert lerts[-1] <= lerts[0] * 1.05
+    knee = min(range(7), key=lambda i: lerts[i])
+    assert knee <= 5, "sweet spot must come before predicting every unit"
+
+    # Truncated tables are smaller (Fig 13 discussion).
+    assert sweep[3].table_bytes < sweep[7].table_bytes
+
+    report("fig12_13_topk_7units", render_topk(sweep))

@@ -1,0 +1,39 @@
+"""Figure 14 — average LERT per error with the 13-unit organisation.
+
+Paper reference shape: breaking the DPU into seven sub-units improves
+every informed model (base-ascending most, by ~62%; prediction models
+by 40-45% vs their coarse versions); pred-comb stays the overall
+winner with speedups of 64%/42%/34% vs base-manifest/base-ascending/
+pred-location-only.
+"""
+
+from repro.analysis import evaluate_campaign
+from repro.analysis.reports import render_fig11
+
+
+def test_fig14(benchmark, campaign, report):
+    coarse = evaluate_campaign(campaign, seed=0)
+    fine = benchmark.pedantic(evaluate_campaign, args=(campaign,),
+                              kwargs={"fine": True, "seed": 0},
+                              rounds=1, iterations=1)
+    s = fine.strategies
+
+    # pred-comb still wins under the fine organisation.
+    assert s["pred-comb"].mean_lert == min(x.mean_lert for x in s.values())
+    assert fine.speedup("pred-comb", "base-manifest") > 0.3
+    assert fine.speedup("pred-comb", "pred-location-only") > 0.15
+
+    # Finer granularity improves the informed models vs coarse.
+    for model in ("base-ascending", "pred-location-only", "pred-comb"):
+        assert (s[model].mean_lert
+                < coarse.strategies[model].mean_lert), model
+
+    gains = {
+        model: 1.0 - s[model].mean_lert / coarse.strategies[model].mean_lert
+        for model in ("base-ascending", "base-manifest",
+                      "pred-location-only", "pred-comb")
+    }
+    lines = [render_fig11(fine, fine=True), "",
+             "  improvement vs the 7-unit organisation:"]
+    lines += [f"    {m:20s} {g:+.0%}" for m, g in gains.items()]
+    report("fig14_lert_13units", "\n".join(lines))

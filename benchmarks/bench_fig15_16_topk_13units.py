@@ -1,0 +1,32 @@
+"""Figures 15/16 — predicting fewer units, 13-unit organisation.
+
+Paper reference shape:
+    Fig 15: accuracy starts much lower than the coarse case (~42% at
+    K=1, vs ~70% with 7 units), needs ~7 units to pass 95%, flat after
+    8; Fig 16: sweet spot at K=7..8 with 36-39% speedup over
+    base-ascending.
+"""
+
+from repro.analysis import topk_sweep
+from repro.analysis.reports import render_topk
+
+
+def test_fig15_16(benchmark, campaign, report):
+    fine = benchmark.pedantic(topk_sweep, args=(campaign,),
+                              kwargs={"fine": True,
+                                      "ks": list(range(1, 14))},
+                              rounds=1, iterations=1)
+    coarse = topk_sweep(campaign, ks=[1])
+
+    accs = [fine[k].location_accuracy for k in range(1, 14)]
+    assert all(b >= a - 1e-9 for a, b in zip(accs, accs[1:]))
+    assert accs[-1] == 1.0
+    # K=1 accuracy drops under the finer organisation (Fig 15 vs Fig 12).
+    assert accs[0] < coarse[1].location_accuracy
+
+    lerts = [fine[k].strategies["pred-comb"].mean_lert for k in range(1, 14)]
+    knee = min(range(13), key=lambda i: lerts[i])
+    assert lerts[-1] <= lerts[0]
+    assert knee >= 2, "fine organisation needs more predicted units than coarse"
+
+    report("fig15_16_topk_13units", render_topk(fine, fine=True))

@@ -1,0 +1,31 @@
+"""Section V-B — keeping the prediction table on-chip vs off-chip.
+
+Paper reference values: the off-chip table (100-cycle access) costs
+only ~0.05% extra LERT vs on-chip (2-cycle access) for both prediction
+models, because table accesses are one-per-error while STLs/restarts
+run for thousands to hundreds of thousands of cycles.  Table storage:
+~3.2 KB for 1201 22-bit entries.
+"""
+
+from repro.analysis import evaluate_campaign
+
+
+def test_onoffchip(benchmark, campaign, report):
+    on = evaluate_campaign(campaign, seed=0)
+    off = benchmark.pedantic(evaluate_campaign, args=(campaign,),
+                             kwargs={"seed": 0, "off_chip": True},
+                             rounds=1, iterations=1)
+    lines = ["Section V-B — prediction table placement"]
+    for model in ("pred-location-only", "pred-comb"):
+        a = on.strategies[model].mean_lert
+        b = off.strategies[model].mean_lert
+        overhead = b / a - 1.0
+        assert overhead >= 0.0
+        assert overhead < 0.005, "off-chip penalty must be negligible (paper: 0.05%)"
+        lines.append(f"  {model:20s} on-chip {a:12,.0f}  off-chip {b:12,.0f}"
+                     f"  (+{overhead:.3%})")
+    entry_bits = 22  # 7 units x 3 bits + 1 type bit, as in the paper
+    lines.append(f"  table storage: {on.table_bytes:,.0f} bytes for "
+                 f"{on.n_diverged_sets + 1} entries of {entry_bits} bits "
+                 "(paper: ~3.2 KB for 1201 entries)")
+    report("sec5b_onoffchip", "\n".join(lines))

@@ -1,0 +1,35 @@
+"""Table IV — area and power overhead of the predictor hardware.
+
+Paper reference values (32 nm, Synopsys flow):
+    vs dual-CPU Cortex-R5 lockstep:  0.6% area, 1.8% power
+    vs a single Cortex-R5 CPU:       1.4% area, 4.2% power
+
+Our gate-equivalent model prices the same structures (DSR, address
+mapping, PTAR; the table lives in existing ECC memory) against an
+R5-class core budget, and additionally against the simulated SR5
+core's own gate estimate for an honest small-core ratio.
+"""
+
+from repro.analysis import evaluate_campaign
+from repro.analysis.reports import render_table4
+from repro.hw import predictor_netlist, summarize, table4
+
+
+def test_table4(benchmark, campaign, report):
+    ev = evaluate_campaign(campaign, seed=0)
+    ptar_bits = max(11, ev.n_diverged_sets.bit_length())
+    rows = benchmark(table4, ev.n_diverged_sets, 11, "r5")
+    dual, single = rows
+
+    # Paper magnitudes: sub-1% area / ~2% power vs the dual-core design.
+    assert dual.area_overhead < 0.01
+    assert dual.power_overhead < 0.03
+    assert single.area_overhead < 0.02
+    assert single.power_overhead < 0.06
+    # Single-CPU overheads are roughly double the dual-CPU ones.
+    assert 1.7 < single.area_overhead / dual.area_overhead < 2.3
+
+    predictor = summarize(predictor_netlist(ev.n_diverged_sets, ptar_bits))
+    extra = (f"\n  predictor logic: {predictor.gate_equivalents:,.0f} NAND2-eq "
+             f"({predictor.area_um2:,.0f} um^2 at 32nm-class density)")
+    report("table4_overhead", render_table4(ev.n_diverged_sets, 11) + extra)

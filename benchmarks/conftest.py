@@ -1,0 +1,48 @@
+"""Shared campaign fixtures for the benchmark harness.
+
+All paper tables/figures are regenerated from ONE fault-injection
+campaign (cached on disk under ``.campaign_cache`` keyed by config +
+schema version), mirroring the paper's single 10M-injection dataset.
+Set ``REPRO_BENCH_SCALE=full`` for the exhaustive every-flop campaign,
+or ``quick`` for a seconds-scale smoke run; the default takes a couple
+of minutes on first use and is cached afterwards.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.faults import CampaignConfig, cached_campaign
+
+RESULTS_DIR = Path(__file__).parent / "results"
+CACHE_DIR = Path(__file__).parent.parent / ".campaign_cache"
+
+
+def _config() -> CampaignConfig:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if scale == "quick":
+        return CampaignConfig.quick()
+    if scale == "full":
+        return CampaignConfig.full()
+    return CampaignConfig.default()
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """The shared fault-injection campaign (disk-cached)."""
+    return cached_campaign(_config(), cache_dir=CACHE_DIR, progress=True)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Persist a rendered paper artifact and echo it to the terminal."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _report

@@ -1,0 +1,53 @@
+"""Error reaction time study: the paper's headline evaluation.
+
+Trains and cross-validates the predictor against the three baselines,
+reporting average LERT per error (Figures 11/14), type prediction
+accuracy (Table III), and the effect of predicting fewer units
+(Figures 12/13) — a compressed version of the benchmark harness, for
+interactive exploration.
+
+Run:  python examples/diagnosis_latency.py [--fine] [--scale quick|default]
+"""
+
+import argparse
+
+from repro.analysis import evaluate_campaign, topk_sweep
+from repro.analysis.reports import render_fig11, render_table3, render_topk
+from repro.faults import CampaignConfig, cached_campaign
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fine", action="store_true",
+                        help="use the 13-unit CPU organisation (Section V-D)")
+    parser.add_argument("--scale", choices=("quick", "default"), default="quick")
+    args = parser.parse_args()
+
+    config = (CampaignConfig.quick() if args.scale == "quick"
+              else CampaignConfig.default())
+    campaign = cached_campaign(config, cache_dir=".campaign_cache")
+    print(f"campaign: {campaign.n_errors} errors from "
+          f"{campaign.n_injected} injections\n")
+
+    evaluation = evaluate_campaign(campaign, fine=args.fine)
+    print(render_fig11(evaluation, fine=args.fine))
+    print()
+    print(render_table3(evaluation))
+    print()
+
+    n_units = 13 if args.fine else 7
+    ks = sorted(set([1, 2, 3, 4, n_units // 2 + 1, n_units]))
+    sweep = topk_sweep(campaign, fine=args.fine, ks=[k for k in ks if k <= n_units])
+    print(render_topk(sweep, fine=args.fine))
+
+    print("\nPrediction table placement (Section V-B):")
+    off = evaluate_campaign(campaign, fine=args.fine, off_chip=True)
+    for model in ("pred-location-only", "pred-comb"):
+        on_lert = evaluation.strategies[model].mean_lert
+        off_lert = off.strategies[model].mean_lert
+        print(f"  {model:20s} on-chip {on_lert:12,.0f}  off-chip {off_lert:12,.0f}"
+              f"  (+{(off_lert / on_lert - 1):.3%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro: a reproduction of *Error Correlation Prediction in Lockstep
+Processors for Safety-critical Systems* (Ozer et al., MICRO 2018).
+
+The package layers, bottom-up:
+
+* :mod:`repro.cpu` — a flip-flop-accurate 32-bit safety core (SR5)
+  whose every sequential bit belongs to one of the paper's CPU units;
+* :mod:`repro.lockstep` — 62-signal-category checkers, DMR and TMR;
+* :mod:`repro.workloads` — eight AutoBench-style automotive kernels;
+* :mod:`repro.faults` — soft/stuck-at injection campaigns over golden
+  traces;
+* :mod:`repro.core` — the paper's contribution: diverged-SC-set
+  signatures, Bhattacharyya analysis, and the static error
+  correlation predictor (DSR -> PTAR -> prediction table);
+* :mod:`repro.bist` / :mod:`repro.reaction` — SBIST/LBIST diagnostics
+  and the five LERT reaction models;
+* :mod:`repro.analysis` — cross-validated evaluation and paper-shaped
+  reports;
+* :mod:`repro.hw` — the gate-level area/power model behind Table IV.
+
+Quickstart::
+
+    from repro.faults import CampaignConfig, run_campaign
+    from repro.analysis import evaluate_campaign
+
+    campaign = run_campaign(CampaignConfig.quick())
+    result = evaluate_campaign(campaign)
+    print(result.strategies["pred-comb"].mean_lert)
+"""
+
+from importlib.metadata import PackageNotFoundError, version
+
+try:
+    __version__ = version("repro")
+except PackageNotFoundError:  # running from a source tree
+    __version__ = "1.0.0"
+
+__all__ = ["__version__"]

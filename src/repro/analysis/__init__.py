@@ -1,0 +1,17 @@
+"""Evaluation pipeline: cross-validation, orchestration and reports."""
+
+from .crossval import kfold, train_test_split
+from .evaluation import (
+    BASELINE_NAMES,
+    MODEL_NAMES,
+    EvaluationResult,
+    evaluate_campaign,
+    split_errors_by_benchmark,
+    topk_sweep,
+)
+
+__all__ = [
+    "kfold", "train_test_split",
+    "BASELINE_NAMES", "MODEL_NAMES", "EvaluationResult",
+    "evaluate_campaign", "split_errors_by_benchmark", "topk_sweep",
+]

@@ -1,0 +1,50 @@
+"""Random-sampling 5-fold cross-validation over the error dataset.
+
+The paper splits the logged error data into training and test bins by
+random sampling with 5-fold cross-validation (Figure 7): each fold's
+predictor is trained on the other four folds and evaluated on its own.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def kfold(items: Sequence[T], k: int = 5,
+          seed: int = 0) -> Iterator[tuple[list[T], list[T]]]:
+    """Yield ``(train, test)`` splits over shuffled ``items``.
+
+    Every item appears in exactly one test fold; folds differ in size
+    by at most one.
+    """
+    if k < 2:
+        raise ValueError("k-fold cross validation needs k >= 2")
+    n = len(items)
+    if n < k:
+        raise ValueError(f"cannot make {k} folds from {n} items")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    folds = np.array_split(order, k)
+    for i in range(k):
+        test_idx = set(int(j) for j in folds[i])
+        train = [items[j] for j in range(n) if j not in test_idx]
+        test = [items[int(j)] for j in folds[i]]
+        yield train, test
+
+
+def train_test_split(items: Sequence[T], test_fraction: float = 0.2,
+                     seed: int = 0) -> tuple[list[T], list[T]]:
+    """A single random split (for examples and quick experiments)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(items))
+    n_test = max(1, int(round(test_fraction * len(items))))
+    test_idx = set(int(i) for i in order[:n_test])
+    train = [items[i] for i in range(len(items)) if i not in test_idx]
+    test = [items[int(i)] for i in order[:n_test]]
+    return train, test

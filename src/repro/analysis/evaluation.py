@@ -1,0 +1,149 @@
+"""End-to-end evaluation orchestration (the paper's Figure 7 pipeline).
+
+Given a fault-injection campaign, this module performs the 5-fold
+cross-validated training/evaluation of the baselines and prediction
+models and aggregates the quantities reported in the paper's figures:
+average LERT per error, average tested units, prediction accuracies,
+and SBIST invocation reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.predictor import (
+    ErrorCorrelationPredictor,
+    location_accuracy,
+    train_predictor,
+    type_accuracy,
+)
+from ..faults.campaign import CampaignResult
+from ..faults.models import ErrorRecord
+from ..reaction.context import ReactionContext, build_context
+from ..reaction.lert import StrategyResult, evaluate_strategy, merge_results
+from ..reaction.strategies import (
+    PredCombined,
+    PredLocationOnly,
+    ReactionStrategy,
+    baseline_strategies,
+)
+from .crossval import kfold
+
+BASELINE_NAMES = ("base-random", "base-ascending", "base-manifest")
+MODEL_NAMES = BASELINE_NAMES + ("pred-location-only", "pred-comb")
+
+
+@dataclass
+class EvaluationResult:
+    """Cross-validated evaluation of all five models.
+
+    Attributes:
+        strategies: model name -> aggregated LERT statistics.
+        location_accuracy: P(faulty unit in predicted list), hard errors.
+        type_accuracy: soft/hard/overall type prediction accuracy.
+        n_diverged_sets: distinct diverged SC sets in the full dataset.
+        table_bytes: prediction table storage (worst-case entry width).
+        sbist_reduction: fraction of SBIST invocations avoided by
+            pred-comb relative to pred-location-only.
+    """
+
+    strategies: dict[str, StrategyResult] = field(default_factory=dict)
+    location_accuracy: float = 0.0
+    type_accuracy: dict[str, float] = field(default_factory=dict)
+    n_diverged_sets: int = 0
+    table_bytes: float = 0.0
+    sbist_reduction: float = 0.0
+
+    def speedup(self, model: str, reference: str) -> float:
+        """Fractional LERT reduction of ``model`` vs ``reference``."""
+        return self.strategies[model].speedup_vs(self.strategies[reference])
+
+
+def evaluate_campaign(result: CampaignResult, fine: bool = False,
+                      top_k: int | None = None, k_folds: int = 5,
+                      seed: int = 0, off_chip: bool = False,
+                      coverage: float = 1.0,
+                      extra_models: dict[str, "type[ReactionStrategy]"] | None = None,
+                      ) -> EvaluationResult:
+    """Run the full cross-validated evaluation on a campaign.
+
+    Args:
+        result: the fault-injection campaign output.
+        fine: evaluate on the 13-unit taxonomy (paper Section V-D).
+        top_k: truncate predictions to the top-K units (Section V-C);
+            None predicts the full order (Figure 11 configuration).
+        k_folds: cross-validation folds (paper: 5).
+        seed: fold shuffling and random-order seed.
+        off_chip: place the prediction table off-chip (Section V-B).
+        coverage: STL stuck-at coverage (1.0 = the paper's assumption).
+    """
+    records = result.records
+    ctx = build_context(result, fine=fine, seed=seed, coverage=coverage)
+
+    per_model: dict[str, list[StrategyResult]] = {}
+    loc_parts: list[tuple[float, int]] = []
+    type_parts: list[tuple[dict[str, float], int]] = []
+    table_bytes = 0.0
+    invocations = {"pred-location-only": 0.0, "pred-comb": 0.0}
+
+    for train, test in kfold(records, k=k_folds, seed=seed):
+        predictor = train_predictor(train, fine=fine, top_k=top_k)
+        if off_chip:
+            predictor = ErrorCorrelationPredictor(
+                predictor.table.placed(off_chip=True), fine)
+        table_bytes = max(table_bytes, predictor.table.size_bytes)
+
+        models: list[ReactionStrategy] = list(baseline_strategies())
+        models.append(PredLocationOnly(predictor))
+        models.append(PredCombined(predictor))
+        if extra_models:
+            for _name, factory in extra_models.items():
+                models.append(factory(predictor))  # type: ignore[call-arg]
+
+        for model in models:
+            fold_result = evaluate_strategy(model, test, ctx)
+            per_model.setdefault(model.name, []).append(fold_result)
+            if model.name in invocations:
+                invocations[model.name] += (
+                    fold_result.sbist_invocation_rate * fold_result.n_errors)
+
+        loc_parts.append((location_accuracy(predictor, test), len(test)))
+        type_parts.append((type_accuracy(predictor, test), len(test)))
+
+    n_total = sum(n for _, n in loc_parts)
+    loc_acc = sum(a * n for a, n in loc_parts) / n_total if n_total else 0.0
+    type_acc = {
+        key: sum(part[key] * n for part, n in type_parts) / n_total if n_total else 0.0
+        for key in ("soft", "hard", "overall")
+    }
+    loc_inv = invocations["pred-location-only"]
+    reduction = 1.0 - invocations["pred-comb"] / loc_inv if loc_inv else 0.0
+
+    return EvaluationResult(
+        strategies={name: merge_results(parts) for name, parts in per_model.items()},
+        location_accuracy=loc_acc,
+        type_accuracy=type_acc,
+        n_diverged_sets=len({r.diverged for r in records}),
+        table_bytes=table_bytes,
+        sbist_reduction=reduction,
+    )
+
+
+def topk_sweep(result: CampaignResult, fine: bool = False,
+               k_folds: int = 5, seed: int = 0,
+               ks: list[int] | None = None) -> dict[int, EvaluationResult]:
+    """Evaluate pred-comb for every top-K width (Figures 12/13/15/16)."""
+    n_units = len(build_context(result, fine=fine).stl.units)
+    ks = ks if ks is not None else list(range(1, n_units + 1))
+    return {
+        k: evaluate_campaign(result, fine=fine, top_k=k, k_folds=k_folds, seed=seed)
+        for k in ks
+    }
+
+
+def split_errors_by_benchmark(records: list[ErrorRecord]) -> dict[str, list[ErrorRecord]]:
+    """Group an error dataset by originating benchmark."""
+    grouped: dict[str, list[ErrorRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.benchmark, []).append(record)
+    return grouped

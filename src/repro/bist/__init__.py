@@ -1,0 +1,11 @@
+"""Built-in self-test substrates: STL latency model, SBIST and LBIST."""
+
+from .lbist import LbistConfig, LbistEngine
+from .sbist import SbistEngine, SbistOutcome
+from .stl import STL_BASE_CYCLES, STL_CYCLES_PER_FLOP15, StlModel
+
+__all__ = [
+    "LbistConfig", "LbistEngine",
+    "SbistEngine", "SbistOutcome",
+    "STL_BASE_CYCLES", "STL_CYCLES_PER_FLOP15", "StlModel",
+]

@@ -1,0 +1,68 @@
+"""Software test library (STL) latency model.
+
+SBIST diagnoses hard faults by running one software test library per
+CPU unit.  The paper measures real STL execution times and reports
+only their range — [min, mean, max] = [25k, 170k, 700k] cycles
+(Table II) — with latency growing with unit complexity.
+
+We model an STL's latency as ``base + c * flops^1.5``: test length
+grows superlinearly with unit state because both the pattern count and
+the per-pattern propagation work grow with structure size.  With the
+SR5 unit sizes this lands almost exactly on the paper's range for the
+7-unit organisation, and the fine 13-unit split automatically yields
+shorter sub-STLs whose *sum* exceeds the parent DPU STL slightly (test
+setup overhead), matching the paper's observation that finer
+granularity shortens diagnosis.
+"""
+
+from __future__ import annotations
+
+from ..cpu.units import COARSE_UNITS, FINE_UNITS, unit_flop_counts
+
+#: Fixed per-STL harness overhead in cycles.
+STL_BASE_CYCLES = 5_000
+#: Scale factor calibrated against the paper's Table II range.
+STL_CYCLES_PER_FLOP15 = 26.0
+
+
+class StlModel:
+    """Per-unit STL latencies for one taxonomy, with 100% coverage.
+
+    The 100% stuck-at coverage assumption matches the paper's footnote
+    5; an optional ``coverage`` below 1.0 supports the coverage
+    ablation (a missed fault turns a hard error into an apparent soft
+    one, forcing the restart path).
+    """
+
+    def __init__(self, fine: bool = False, coverage: float = 1.0):
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError("coverage must be in (0, 1]")
+        self.fine = fine
+        self.coverage = coverage
+        counts = unit_flop_counts(fine=fine)
+        self.latencies: dict[str, int] = {
+            unit: int(STL_BASE_CYCLES + STL_CYCLES_PER_FLOP15 * flops ** 1.5)
+            for unit, flops in counts.items()
+        }
+
+    @property
+    def units(self) -> tuple[str, ...]:
+        """Units in canonical order for this taxonomy."""
+        return tuple(FINE_UNITS) if self.fine else tuple(COARSE_UNITS)
+
+    def latency(self, unit: str) -> int:
+        """STL execution time for one unit in cycles."""
+        return self.latencies[unit]
+
+    def total_latency(self) -> int:
+        """Run-to-completion cost: every unit's STL."""
+        return sum(self.latencies.values())
+
+    def ascending_order(self) -> tuple[str, ...]:
+        """Units sorted by increasing STL latency (base-ascending)."""
+        return tuple(sorted(self.units, key=self.latency))
+
+    def spread(self) -> tuple[int, float, int]:
+        """[min, mean, max] latency over units, like Table II."""
+        values = list(self.latencies.values())
+        return min(values), sum(values) / len(values), max(values)

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``campaign``  — run (or load) a fault-injection campaign; print Table I.
+* ``evaluate``  — cross-validated evaluation; print Figure 11/14 and
+  Table III (``--fine`` for the 13-unit organisation, ``--top-k`` to
+  truncate predictions, ``--off-chip`` for DRAM table placement).
+* ``figures``   — ASCII charts of Figures 11-16.
+* ``overhead``  — the Table IV area/power model.
+* ``run``       — execute one workload kernel and print its outputs.
+* ``disasm``    — disassemble a workload kernel.
+* ``kernels``   — list the available workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import evaluate_campaign, topk_sweep
+from .analysis.figures import figure11_chart, topk_chart
+from .analysis.reports import (
+    render_fig11,
+    render_table1,
+    render_table3,
+    render_table4,
+)
+from .faults import CampaignConfig, cached_campaign
+from .workloads import KERNELS, get_workload, run_kernel
+
+_SCALES = {
+    "quick": CampaignConfig.quick,
+    "default": CampaignConfig.default,
+    "full": CampaignConfig.full,
+}
+
+
+def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="default",
+                        help="campaign size preset")
+    parser.add_argument("--cache", default=".campaign_cache",
+                        help="campaign cache directory")
+
+
+def _load_campaign(args: argparse.Namespace):
+    return cached_campaign(_SCALES[args.scale](), cache_dir=args.cache,
+                           progress=True)
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    campaign = _load_campaign(args)
+    print(render_table1(campaign))
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    campaign = _load_campaign(args)
+    ev = evaluate_campaign(campaign, fine=args.fine, top_k=args.top_k,
+                           off_chip=args.off_chip)
+    print(render_fig11(ev, fine=args.fine))
+    print()
+    print(render_table3(ev))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    campaign = _load_campaign(args)
+    ev = evaluate_campaign(campaign, fine=args.fine)
+    print(figure11_chart(ev, fine=args.fine))
+    print()
+    n_units = 13 if args.fine else 7
+    sweep = topk_sweep(campaign, fine=args.fine,
+                       ks=list(range(1, n_units + 1)))
+    print(topk_chart(sweep, fine=args.fine))
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    print(render_table4(n_entries=args.entries, ptar_bits=args.ptar_bits))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = get_workload(args.kernel)
+    result = run_kernel(workload, seed=args.seed)
+    print(f"{workload.name}: {workload.description}")
+    print(f"cycles: {result.cycles}, halted: {result.halted}, "
+          f"exception: {result.exception}")
+    print(f"outputs ({len(result.outputs)}): {result.outputs}")
+    reference = workload.reference(workload.stimulus(args.seed))
+    print(f"matches reference model: {result.outputs == reference}")
+    return 0 if result.outputs == reference else 1
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    from .cpu.assembler import assemble
+    from .cpu.disassembler import disassemble
+
+    workload = get_workload(args.kernel)
+    program = assemble(workload.source)
+    print(disassemble(program.words))
+    return 0
+
+
+def cmd_kernels(args: argparse.Namespace) -> int:
+    for name, workload in KERNELS.items():
+        print(f"  {name:8s} {workload.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Error correlation prediction for lockstep processors "
+                    "(MICRO 2018 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("campaign", help="run/load a fault-injection campaign")
+    _add_campaign_args(p)
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("evaluate", help="cross-validated LERT evaluation")
+    _add_campaign_args(p)
+    p.add_argument("--fine", action="store_true", help="13-unit organisation")
+    p.add_argument("--top-k", type=int, default=None,
+                   help="truncate predictions to the top K units")
+    p.add_argument("--off-chip", action="store_true",
+                   help="place the prediction table off-chip (100-cycle access)")
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("figures", help="ASCII charts of Figures 11-16")
+    _add_campaign_args(p)
+    p.add_argument("--fine", action="store_true")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("overhead", help="Table IV area/power model")
+    p.add_argument("--entries", type=int, default=1200)
+    p.add_argument("--ptar-bits", type=int, default=11)
+    p.set_defaults(func=cmd_overhead)
+
+    p = sub.add_parser("run", help="run one workload kernel")
+    p.add_argument("kernel", choices=sorted(KERNELS))
+    p.add_argument("--seed", type=int, default=20180615)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("disasm", help="disassemble a workload kernel")
+    p.add_argument("kernel", choices=sorted(KERNELS))
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("kernels", help="list available workloads")
+    p.set_defaults(func=cmd_kernels)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's contribution: lockstep error correlation prediction."""
+
+from .bhattacharyya import (
+    average_bc,
+    average_type_bc,
+    bc_extremes,
+    bhattacharyya,
+    cross_unit_bc,
+    type_bc_per_unit,
+)
+from .divergence import DivergenceStatusRegister, PredictionTableAddressRegister
+from .predictor import (
+    DynamicPredictor,
+    ErrorCorrelationPredictor,
+    Prediction,
+    default_unit_order,
+    location_accuracy,
+    train_predictor,
+    type_accuracy,
+)
+from .signatures import DivergedSet, SignatureStats
+from .table import (
+    OFF_CHIP_ACCESS_CYCLES,
+    ON_CHIP_ACCESS_CYCLES,
+    AddressMapper,
+    PredictionTable,
+    TableEntry,
+    build_default_entry,
+    rank_units,
+    type_bit,
+)
+
+__all__ = [
+    "average_bc", "average_type_bc", "bc_extremes", "bhattacharyya",
+    "cross_unit_bc", "type_bc_per_unit",
+    "DivergenceStatusRegister", "PredictionTableAddressRegister",
+    "DynamicPredictor", "ErrorCorrelationPredictor", "Prediction",
+    "default_unit_order", "location_accuracy", "train_predictor", "type_accuracy",
+    "DivergedSet", "SignatureStats",
+    "OFF_CHIP_ACCESS_CYCLES", "ON_CHIP_ACCESS_CYCLES",
+    "AddressMapper", "PredictionTable", "TableEntry",
+    "build_default_entry", "rank_units", "type_bit",
+]

@@ -1,0 +1,123 @@
+"""Binary memory image of the prediction table.
+
+The paper keeps the prediction table in ECC-protected (off-chip)
+memory rather than dedicated hardware.  This module packs a trained
+:class:`~repro.core.table.PredictionTable` into the exact bit-level
+image the error handler software would read — fixed-width entries of
+``slots * unit_id_bits + 1`` bits, PTAR-indexed, the catch-all default
+entry last — and unpacks it again, so the storage numbers quoted in
+Section V-B correspond to real bytes.
+
+Layout per entry (LSB first)::
+
+    [0]                 error type bit (1 = hard)
+    [1 .. slots*B]      unit ids, most likely first, B bits each;
+                        the all-ones id pads unused slots
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .predictor import ErrorCorrelationPredictor, default_unit_order
+from .table import PredictionTable, TableEntry
+
+
+@dataclass(frozen=True)
+class TableImage:
+    """A packed prediction table.
+
+    Attributes:
+        data: the raw bytes.
+        n_entries: entry count including the default entry.
+        slots: unit slots per entry.
+        unit_bits: bits per unit id.
+        fine: taxonomy of the unit id space.
+    """
+
+    data: bytes
+    n_entries: int
+    slots: int
+    unit_bits: int
+    fine: bool
+
+    @property
+    def entry_bits(self) -> int:
+        """Fixed entry width in bits."""
+        return self.slots * self.unit_bits + 1
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+def pack_table(predictor: ErrorCorrelationPredictor) -> TableImage:
+    """Serialise a trained predictor's table into its memory image."""
+    table = predictor.table
+    units = default_unit_order(predictor.fine)
+    unit_index = {u: i for i, u in enumerate(units)}
+    unit_bits = table.unit_id_bits
+    pad = (1 << unit_bits) - 1
+    slots = max(
+        [len(e.units) for e in table.entries] + [len(table.default_entry.units)]
+    )
+    entry_bits = slots * unit_bits + 1
+
+    bits = 0
+    position = 0
+    for entry in list(table.entries) + [table.default_entry]:
+        word = 1 if entry.predict_hard else 0
+        for slot in range(slots):
+            if slot < len(entry.units):
+                uid = unit_index[entry.units[slot]]
+            else:
+                uid = pad
+            word |= uid << (1 + slot * unit_bits)
+        bits |= word << position
+        position += entry_bits
+
+    n_entries = len(table.entries) + 1
+    n_bytes = (n_entries * entry_bits + 7) // 8
+    return TableImage(
+        data=bits.to_bytes(n_bytes, "little"),
+        n_entries=n_entries,
+        slots=slots,
+        unit_bits=unit_bits,
+        fine=predictor.fine,
+    )
+
+
+def unpack_entry(image: TableImage, index: int) -> TableEntry:
+    """Read one entry back out of the packed image."""
+    if not 0 <= index < image.n_entries:
+        raise IndexError(f"entry {index} out of range (0..{image.n_entries - 1})")
+    bits = int.from_bytes(image.data, "little")
+    entry_bits = image.entry_bits
+    word = (bits >> (index * entry_bits)) & ((1 << entry_bits) - 1)
+    predict_hard = bool(word & 1)
+    units = default_unit_order(image.fine)
+    pad = (1 << image.unit_bits) - 1
+    decoded = []
+    for slot in range(image.slots):
+        uid = (word >> (1 + slot * image.unit_bits)) & pad
+        if uid == pad:
+            break
+        decoded.append(units[uid])
+    return TableEntry(units=tuple(decoded), predict_hard=predict_hard)
+
+
+def unpack_table(image: TableImage,
+                 mapper_keys: list[frozenset]) -> PredictionTable:
+    """Rebuild a full :class:`PredictionTable` from an image.
+
+    ``mapper_keys`` are the diverged SC sets in PTAR order (the
+    address-mapping contents, which live in hardware, not in the
+    table image).
+    """
+    if len(mapper_keys) != image.n_entries - 1:
+        raise ValueError("mapper key count must match non-default entries")
+    entries = [
+        (key, unpack_entry(image, i)) for i, key in enumerate(mapper_keys)
+    ]
+    default = unpack_entry(image, image.n_entries - 1)
+    n_units = len(default_unit_order(image.fine))
+    return PredictionTable(entries, default, n_units=n_units)

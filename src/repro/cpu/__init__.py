@@ -1,0 +1,26 @@
+"""Flip-flop-accurate SR5 CPU substrate: ISA, assembler, core, memory."""
+
+from .assembler import Assembler, AssemblerError, Program, assemble
+from .core import NUM_SCS, Cpu
+from .isa import Instruction, Op, decode
+from .memory import InputStream, Memory
+from .units import (
+    COARSE_UNITS,
+    FINE_UNITS,
+    REGISTRY,
+    TOTAL_FLOPS,
+    FlopRef,
+    all_flops,
+    coarse_unit,
+    flops_of_unit,
+    unit_flop_counts,
+)
+
+__all__ = [
+    "Assembler", "AssemblerError", "Program", "assemble",
+    "Cpu", "NUM_SCS",
+    "Instruction", "Op", "decode",
+    "InputStream", "Memory",
+    "COARSE_UNITS", "FINE_UNITS", "REGISTRY", "TOTAL_FLOPS",
+    "FlopRef", "all_flops", "coarse_unit", "flops_of_unit", "unit_flop_counts",
+]

@@ -1,0 +1,266 @@
+"""Two-pass assembler for the SR5 ISA.
+
+The assembler accepts a conventional assembly dialect::
+
+    ; comment                  # comment
+    .org 0x20                  ; set location counter (byte address)
+    .word 1, 2, 3              ; emit literal words
+    .space 8                   ; reserve 8 zeroed words
+    label:
+        addi  r1, r0, 42
+        ld    r2, 4(r3)        ; loads/stores use offset(base)
+        beq   r1, r2, label
+        jal   lr, subroutine
+        lui   r4, 0x1234
+        out   r1, 0            ; write r1 to output port 0
+        halt
+
+Register names are ``r0``..``r15`` plus the aliases ``zero``, ``sp``
+and ``lr``.  Immediates may be decimal, hex (``0x``) or a label name
+(branches and JAL take label targets and the assembler computes the
+relative word offset).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .isa import (
+    ALU_RI_OPS,
+    ALU_RR_OPS,
+    BRANCH_OPS,
+    NUM_REGS,
+    REG_ALIASES,
+    Instruction,
+    Op,
+)
+
+
+class AssemblerError(ValueError):
+    """Raised on any syntax or semantic error, with line information."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+@dataclass
+class Program:
+    """An assembled program image.
+
+    Attributes:
+        words: dense memory image, word-indexed from address 0.
+        symbols: label name to byte address.
+        entry: byte address of the first instruction (label ``_start``
+            when present, otherwise 0).
+    """
+
+    words: list[int]
+    symbols: dict[str, int] = field(default_factory=dict)
+    entry: int = 0
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+def _parse_reg(token: str, lineno: int) -> int:
+    token = token.lower()
+    if token in REG_ALIASES:
+        return REG_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        idx = int(token[1:])
+        if 0 <= idx < NUM_REGS:
+            return idx
+    raise AssemblerError(lineno, f"bad register {token!r}")
+
+
+def _parse_int(token: str, lineno: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(lineno, f"bad integer {token!r}") from None
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`."""
+
+    def __init__(self) -> None:
+        self._symbols: dict[str, int] = {}
+
+    def assemble(self, source: str) -> Program:
+        """Assemble ``source`` and return the program image."""
+        lines = self._tokenize(source)
+        self._symbols = {}
+        self._layout(lines)
+        image = self._emit(lines)
+        entry = self._symbols.get("_start", 0)
+        return Program(words=image, symbols=dict(self._symbols), entry=entry)
+
+    # -- pass 0: tokenization ------------------------------------------------
+
+    @staticmethod
+    def _tokenize(source: str) -> list[tuple[int, str]]:
+        out = []
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split(";")[0].split("#")[0].strip()
+            if line:
+                out.append((lineno, line))
+        return out
+
+    # -- pass 1: symbol layout -----------------------------------------------
+
+    def _layout(self, lines: list[tuple[int, str]]) -> None:
+        addr = 0
+        for lineno, line in lines:
+            while ":" in line:
+                label, _, line = line.partition(":")
+                label = label.strip()
+                if not label.isidentifier() and not label.startswith("_"):
+                    raise AssemblerError(lineno, f"bad label {label!r}")
+                if label in self._symbols:
+                    raise AssemblerError(lineno, f"duplicate label {label!r}")
+                self._symbols[label] = addr
+                line = line.strip()
+            if not line:
+                continue
+            addr = self._advance(addr, line, lineno)
+
+    def _advance(self, addr: int, line: str, lineno: int) -> int:
+        mnemonic = line.split()[0].lower()
+        if mnemonic == ".org":
+            target = _parse_int(line.split()[1], lineno)
+            if target < addr:
+                raise AssemblerError(lineno, ".org may not move backwards")
+            if target % 4:
+                raise AssemblerError(lineno, ".org must be word aligned")
+            return target
+        if mnemonic == ".word":
+            count = len(line[len(".word"):].split(","))
+            return addr + 4 * count
+        if mnemonic == ".space":
+            return addr + 4 * _parse_int(line.split()[1], lineno)
+        return addr + 4
+
+    # -- pass 2: emission ----------------------------------------------------
+
+    def _emit(self, lines: list[tuple[int, str]]) -> list[int]:
+        image: dict[int, int] = {}
+        addr = 0
+        for lineno, line in lines:
+            while ":" in line:
+                _, _, line = line.partition(":")
+                line = line.strip()
+            if not line:
+                continue
+            mnemonic = line.split()[0].lower()
+            if mnemonic == ".org":
+                addr = _parse_int(line.split()[1], lineno)
+                continue
+            if mnemonic == ".word":
+                for tok in line[len(".word"):].split(","):
+                    image[addr // 4] = self._resolve_value(tok.strip(), lineno) & 0xFFFFFFFF
+                    addr += 4
+                continue
+            if mnemonic == ".space":
+                for _ in range(_parse_int(line.split()[1], lineno)):
+                    image[addr // 4] = 0
+                    addr += 4
+                continue
+            instr = self._parse_instruction(line, addr, lineno)
+            image[addr // 4] = instr.encode()
+            addr += 4
+        size = max(image) + 1 if image else 0
+        return [image.get(i, 0) for i in range(size)]
+
+    def _resolve_value(self, token: str, lineno: int) -> int:
+        if token in self._symbols:
+            return self._symbols[token]
+        return _parse_int(token, lineno)
+
+    def _resolve_offset(self, token: str, pc_next: int, lineno: int) -> int:
+        """Branch/JAL offset in words relative to the next instruction."""
+        if token in self._symbols:
+            return (self._symbols[token] - pc_next) // 4
+        return _parse_int(token, lineno)
+
+    def _parse_instruction(self, line: str, addr: int, lineno: int) -> Instruction:
+        parts = line.replace(",", " ").split()
+        mnemonic = parts[0].upper()
+        args = parts[1:]
+        try:
+            op = Op[mnemonic]
+        except KeyError:
+            raise AssemblerError(lineno, f"unknown mnemonic {mnemonic!r}") from None
+
+        def want(n: int) -> None:
+            if len(args) != n:
+                raise AssemblerError(lineno, f"{mnemonic} takes {n} operands, got {len(args)}")
+
+        if op in ALU_RR_OPS:
+            want(3)
+            return Instruction(op, rd=_parse_reg(args[0], lineno),
+                               ra=_parse_reg(args[1], lineno), rb=_parse_reg(args[2], lineno))
+        if op in ALU_RI_OPS:
+            want(3)
+            return Instruction(op, rd=_parse_reg(args[0], lineno),
+                               ra=_parse_reg(args[1], lineno),
+                               imm=self._resolve_value(args[2], lineno))
+        if op == Op.LUI:
+            want(2)
+            return Instruction(op, rd=_parse_reg(args[0], lineno),
+                               imm=self._resolve_value(args[1], lineno))
+        if op in (Op.LD, Op.LDB):
+            want(2)
+            base, off = self._parse_mem(args[1], lineno)
+            return Instruction(op, rd=_parse_reg(args[0], lineno), ra=base, imm=off)
+        if op in (Op.ST, Op.STB):
+            want(2)
+            base, off = self._parse_mem(args[1], lineno)
+            return Instruction(op, rb=_parse_reg(args[0], lineno), ra=base, imm=off)
+        if op in BRANCH_OPS:
+            want(3)
+            return Instruction(op, ra=_parse_reg(args[0], lineno),
+                               rb=_parse_reg(args[1], lineno),
+                               imm=self._resolve_offset(args[2], addr + 4, lineno))
+        if op == Op.JAL:
+            want(2)
+            return Instruction(op, rd=_parse_reg(args[0], lineno),
+                               imm=self._resolve_offset(args[1], addr + 4, lineno))
+        if op == Op.JALR:
+            want(3)
+            return Instruction(op, rd=_parse_reg(args[0], lineno),
+                               ra=_parse_reg(args[1], lineno),
+                               imm=self._resolve_value(args[2], lineno))
+        if op == Op.IN:
+            want(2)
+            return Instruction(op, rd=_parse_reg(args[0], lineno),
+                               imm=self._resolve_value(args[1], lineno))
+        if op in (Op.OUT, Op.CSRW):
+            want(2)
+            return Instruction(op, rb=_parse_reg(args[0], lineno),
+                               imm=self._resolve_value(args[1], lineno))
+        if op == Op.CSRR:
+            want(2)
+            return Instruction(op, rd=_parse_reg(args[0], lineno),
+                               imm=self._resolve_value(args[1], lineno))
+        if op in (Op.NOP, Op.HALT):
+            want(0)
+            return Instruction(op)
+        raise AssemblerError(lineno, f"unhandled mnemonic {mnemonic!r}")
+
+    def _parse_mem(self, token: str, lineno: int) -> tuple[int, int]:
+        match = _MEM_RE.match(token)
+        if not match:
+            raise AssemblerError(lineno, f"bad memory operand {token!r}; expected off(reg)")
+        off = self._resolve_value(match.group(1), lineno)
+        base = _parse_reg(match.group(2), lineno)
+        return base, off
+
+
+def assemble(source: str) -> Program:
+    """Module-level convenience wrapper around :class:`Assembler`."""
+    return Assembler().assemble(source)

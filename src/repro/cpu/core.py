@@ -1,0 +1,632 @@
+"""Flip-flop-accurate model of the SR5 safety core.
+
+The core is a three-stage-execution, five-slot pipeline::
+
+    IF1 (IMC fetch) -> IF2 (decode latch) -> DX (decode/execute) -> MW
+    (memory/writeback, with a one-entry draining store buffer)
+
+Every sequential element is an instance attribute named after its
+:class:`repro.cpu.units.RegSpec`, so faults can be injected into any
+individual flip-flop and snapshots are exact microarchitectural state.
+
+Cycle semantics: ``step()`` first derives the 62-signal-category output
+port vector from the *current* flip-flop state, then computes the next
+state.  A transient fault flips a bit before a cycle's ``step``; a
+stuck-at fault forces a bit before *every* ``step``.
+"""
+
+from __future__ import annotations
+
+from .isa import (
+    CAUSE_BKPT,
+    CAUSE_ILLEGAL,
+    CAUSE_IRQ,
+    CAUSE_MISALIGNED,
+    CAUSE_MPU,
+    CAUSE_WATCH,
+    CSR_CAUSE,
+    CSR_CNT_BRANCH,
+    CSR_CNT_MEM,
+    CSR_CYCLE,
+    CSR_DBG_BKPT0,
+    CSR_DBG_BKPT1,
+    CSR_DBG_CTRL,
+    CSR_DBG_WATCH0,
+    CSR_EPC,
+    CSR_FLAGS,
+    CSR_IRQ_MASK,
+    CSR_IRQ_PENDING,
+    CSR_MPU_BASE0,
+    CSR_MPU_CTRL,
+    CSR_MPU_LIMIT0,
+    CSR_SCRATCH,
+    CSR_STATUS,
+    EXC_VECTOR,
+    STATUS_CNT_EN,
+    VALID_OPCODES,
+    Op,
+)
+from .memory import InputStream, Memory
+from .units import REGISTRY
+
+MASK32 = 0xFFFFFFFF
+
+_SNAP_NAMES: tuple[str, ...] = tuple(spec.name for spec in REGISTRY)
+_RF_NAMES: tuple[str, ...] = ("rf0",) + tuple(f"rf{i}" for i in range(1, 16))
+_BTB_TAG = ("btb_tag0", "btb_tag1", "btb_tag2", "btb_tag3")
+_BTB_TGT = ("btb_tgt0", "btb_tgt1", "btb_tgt2", "btb_tgt3")
+_MPU_BASE = ("mpu_base0", "mpu_base1", "mpu_base2", "mpu_base3")
+_MPU_LIMIT = ("mpu_limit0", "mpu_limit1", "mpu_limit2", "mpu_limit3")
+
+#: CSRW targets beyond STATUS/SCRATCH: csr number -> (register, width mask).
+_CSR_WRITE: dict[int, tuple[str, int]] = {
+    CSR_DBG_BKPT0: ("dbg_bkpt0", MASK32),
+    CSR_DBG_BKPT1: ("dbg_bkpt1", MASK32),
+    CSR_DBG_WATCH0: ("dbg_watch0", MASK32),
+    CSR_DBG_CTRL: ("dbg_ctrl", 0xF),
+    CSR_IRQ_MASK: ("irq_mask", 0xFF),
+    CSR_IRQ_PENDING: ("irq_pending", 0xFF),
+    CSR_MPU_CTRL: ("mpu_ctrl", 0xFF),
+}
+for _i in range(4):
+    _CSR_WRITE[CSR_MPU_BASE0 + _i] = (_MPU_BASE[_i], MASK32)
+    _CSR_WRITE[CSR_MPU_LIMIT0 + _i] = (_MPU_LIMIT[_i], MASK32)
+
+# lsu_op encodings (3-bit register field).
+_LSU_NONE, _LSU_LD, _LSU_LDB, _LSU_ST, _LSU_STB, _LSU_IN, _LSU_OUT = range(7)
+
+_OP_LD, _OP_LDB, _OP_ST, _OP_STB = int(Op.LD), int(Op.LDB), int(Op.ST), int(Op.STB)
+_OP_LUI, _OP_JAL, _OP_JALR = int(Op.LUI), int(Op.JAL), int(Op.JALR)
+_OP_IN, _OP_OUT, _OP_CSRR, _OP_CSRW = int(Op.IN), int(Op.OUT), int(Op.CSRR), int(Op.CSRW)
+_OP_NOP, _OP_HALT = int(Op.NOP), int(Op.HALT)
+_OP_MUL, _OP_MULH = int(Op.MUL), int(Op.MULH)
+
+#: Number of signal categories on the output port boundary (paper: 62).
+NUM_SCS = 62
+
+
+def _signed(value: int) -> int:
+    """32-bit unsigned to Python signed."""
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+class Cpu:
+    """One SR5 core attached to a memory and a replicated input stream."""
+
+    def __init__(self, memory: Memory, stimulus: InputStream | None = None,
+                 entry: int = 0):
+        self.mem = memory
+        self.stim = stimulus if stimulus is not None else InputStream()
+        self.rf0 = 0  # hardwired zero, not a flip-flop
+        self.reset(entry)
+
+    def reset(self, entry: int = 0) -> None:
+        """Bring every flip-flop to its deterministic reset value.
+
+        Lockstep operation requires main and redundant cores to hold an
+        identical microarchitectural state out of reset (Section II of
+        the paper), which this guarantees by construction.
+        """
+        for spec in REGISTRY:
+            setattr(self, spec.name, 0)
+        self.pc = entry & MASK32
+
+    # -- state capture ---------------------------------------------------
+
+    def snapshot(self) -> tuple[int, ...]:
+        """Full flip-flop state in canonical :data:`REGISTRY` order."""
+        d = self.__dict__
+        return tuple(d[name] for name in _SNAP_NAMES)
+
+    def restore(self, state: tuple[int, ...]) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        d = self.__dict__
+        for name, value in zip(_SNAP_NAMES, state):
+            d[name] = value
+
+    # -- output ports ------------------------------------------------------
+
+    def outputs(self) -> tuple[int, ...]:
+        """The 62-signal-category output port vector for this cycle.
+
+        Only genuine interface registers are visible at the sphere
+        boundary, mirroring a real DCLS integration: the instruction
+        and data bus interfaces, the unified external bus monitor, the
+        peripheral I/O port, the ETM-style trace port, and two event
+        lines.  Wide buses are split into byte or nibble SCs, which is
+        how the paper reaches 62 categories on the Cortex-R5.
+        """
+        d = self.__dict__
+        ia = d["imc_addr"]; da = d["dmc_addr"]; dw = d["dmc_wdata"]
+        ba = d["bus_addr"]; bd = d["bus_data"]; io = d["io_out"]
+        rp = d["ret_pc"]; rv = d["ret_val"]
+        return (
+            ia & 0xFF, (ia >> 8) & 0xFF, (ia >> 16) & 0xFF, (ia >> 24) & 0xFF,
+            d["imc_valid"],
+            d["imc_pred"],
+            da & 0xF, (da >> 4) & 0xF, (da >> 8) & 0xF, (da >> 12) & 0xF,
+            (da >> 16) & 0xF, (da >> 20) & 0xF, (da >> 24) & 0xF, (da >> 28) & 0xF,
+            dw & 0xF, (dw >> 4) & 0xF, (dw >> 8) & 0xF, (dw >> 12) & 0xF,
+            (dw >> 16) & 0xF, (dw >> 20) & 0xF, (dw >> 24) & 0xF, (dw >> 28) & 0xF,
+            d["dmc_ctrl"],
+            d["dmc_strb"],
+            ba & 0xFF, (ba >> 8) & 0xFF, (ba >> 16) & 0xFF, (ba >> 24) & 0xFF,
+            bd & 0xF, (bd >> 4) & 0xF, (bd >> 8) & 0xF, (bd >> 12) & 0xF,
+            (bd >> 16) & 0xF, (bd >> 20) & 0xF, (bd >> 24) & 0xF, (bd >> 28) & 0xF,
+            d["bus_ctrl"],
+            io & 0xF, (io >> 4) & 0xF, (io >> 8) & 0xF, (io >> 12) & 0xF,
+            (io >> 16) & 0xF, (io >> 20) & 0xF, (io >> 24) & 0xF, (io >> 28) & 0xF,
+            d["io_out_v"],
+            rp & 0xFF, (rp >> 8) & 0xFF, (rp >> 16) & 0xFF, (rp >> 24) & 0xFF,
+            rv & 0xF, (rv >> 4) & 0xF, (rv >> 8) & 0xF, (rv >> 12) & 0xF,
+            (rv >> 16) & 0xF, (rv >> 20) & 0xF, (rv >> 24) & 0xF, (rv >> 28) & 0xF,
+            d["ret_rd"],
+            d["ret_valid"],
+            (d["status"] & 1) | (d["halted"] << 1),
+            d["br_taken"] | (d["br_valid"] << 1),
+        )
+
+    # -- one clock cycle -----------------------------------------------------
+
+    def step(self) -> tuple[int, ...]:
+        """Advance one clock; returns this cycle's output port vector."""
+        out = self.outputs()
+        d = self.__dict__
+        if d["halted"]:
+            return out
+        mem = self.mem
+
+        # ------------------ MW stage (older instruction) ------------------
+        lsu_op = d["lsu_op"]; lsu_valid = d["lsu_valid"]
+        lsu_addr = d["lsu_addr"]; lsu_wdata = d["lsu_wdata"]
+        sb_valid = d["sb_valid"]; sb_addr = d["sb_addr"]
+        sb_data = d["sb_data"]; sb_op = d["sb_op"]
+        mw_valid = d["mw_valid"]
+
+        n_sb_valid, n_sb_addr, n_sb_data, n_sb_op = sb_valid, sb_addr, sb_data, sb_op
+        d_read = d_write = False
+        d_addr = d_waddr = 0
+        d_wdata = 0
+        load_data = 0
+        d_byte_w = d_byte_r = False
+
+        def _drain() -> None:
+            nonlocal d_write, d_waddr, d_wdata, d_byte_w, n_sb_valid
+            if sb_op:
+                mem.write_byte(sb_addr, sb_data)
+            else:
+                mem.write_word(sb_addr, sb_data)
+            d_write = True
+            d_waddr = sb_addr
+            d_wdata = sb_data
+            d_byte_w = bool(sb_op)
+            n_sb_valid = 0
+
+        if lsu_valid:
+            if lsu_op == _LSU_LD or lsu_op == _LSU_LDB:
+                if sb_valid and ((sb_addr ^ lsu_addr) & ~3) & MASK32 == 0:
+                    _drain()
+                if lsu_op == _LSU_LD:
+                    load_data = mem.read_word(lsu_addr)
+                else:
+                    load_data = mem.read_byte(lsu_addr)
+                    d_byte_r = True
+                d_read = True
+                d_addr = lsu_addr
+            elif lsu_op == _LSU_ST or lsu_op == _LSU_STB:
+                if sb_valid:
+                    _drain()
+                n_sb_addr = lsu_addr
+                n_sb_data = lsu_wdata
+                n_sb_op = 1 if lsu_op == _LSU_STB else 0
+                n_sb_valid = 1
+            elif lsu_op == _LSU_IN:
+                load_data = self.stim.sample(d["io_in_idx"])
+                d["io_in"] = load_data
+                d["io_in_idx"] = (d["io_in_idx"] + 1) & 0xFFFF
+            elif lsu_op == _LSU_OUT:
+                # The strobe toggles per OUT event so back-to-back writes
+                # of the same value remain observable at the port.
+                d["io_out"] = lsu_wdata
+                d["io_out_v"] ^= 1
+        else:
+            if sb_valid:
+                _drain()
+
+        # Data memory controller interface registers.
+        if d_read or d_write:
+            d["dmc_addr"] = d_addr if d_read else d_waddr
+            if d_write:
+                d["dmc_wdata"] = d_wdata
+            if d_read:
+                d["dmc_rdata"] = load_data
+            d["dmc_ctrl"] = (1 if d_read else 0) | (2 if d_write else 0) | 8
+            prim_addr = d_addr if d_read else d_waddr
+            prim_byte = d_byte_r if d_read else d_byte_w
+            d["dmc_strb"] = (1 << (prim_addr & 3)) if prim_byte else 0xF
+        else:
+            d["dmc_ctrl"] = 0
+            d["dmc_strb"] = 0
+
+        # Writeback and retire/trace port.
+        bypass_rd = -1
+        bypass_val = 0
+        if mw_valid:
+            value = load_data if d["mw_isload"] else d["mw_val"]
+            if d["mw_wen"]:
+                rd = d["mw_rd"]
+                if rd:
+                    d[_RF_NAMES[rd]] = value
+                bypass_rd = rd
+                bypass_val = value
+            d["ret_pc"] = d["mw_pc"]
+            d["ret_val"] = value
+            d["ret_rd"] = d["mw_rd"]
+            d["ret_valid"] = 1
+        else:
+            d["ret_valid"] = 0
+
+        # ------------------ DX stage ------------------
+        if_valid = d["if_valid"]; if_pc = d["if_pc"]
+        stall = False
+        redirect = -1           # -1: no redirect
+        halt_now = False
+
+        n_mw_valid = 0
+        n_lsu_valid = 0
+        n_lsu_op = _LSU_NONE
+        n_mw_wen = 0
+        n_mw_isload = 0
+        n_mw_rd = 0
+        n_mw_val = 0
+        n_br_valid = 0
+
+        if if_valid:
+            word = d["if_ir"]
+            opnum = (word >> 26) & 0x3F
+            seq_next = (if_pc + 4) & MASK32
+            fetched_next = d["if_ptgt"] if d["if_pred"] else seq_next
+            actual_next = seq_next
+
+            exc_code = -1
+            # Interrupts are auto-masked while the exception flag is set,
+            # as on any real core (the handler would otherwise re-enter).
+            if d["irq_pending"] & d["irq_mask"] and not d["status"] & 1:
+                exc_code = CAUSE_IRQ
+            elif d["dbg_ctrl"] & 3:
+                ctrl = d["dbg_ctrl"]
+                if (ctrl & 1 and if_pc == d["dbg_bkpt0"]) or \
+                        (ctrl & 2 and if_pc == d["dbg_bkpt1"]):
+                    exc_code = CAUSE_BKPT
+            if exc_code < 0 and opnum not in VALID_OPCODES:
+                exc_code = CAUSE_ILLEGAL
+
+            if exc_code >= 0:
+                d["cause"] = exc_code
+                d["epc"] = if_pc
+                d["status"] |= 1
+                d["sflags"] = d["flags"]
+                redirect = EXC_VECTOR
+            else:
+                rd = (word >> 22) & 0xF
+                ra = (word >> 18) & 0xF
+                rb = (word >> 14) & 0xF
+                imm = (word & 0x1FFF) - (word & 0x2000)
+                ra_val = bypass_val if ra == bypass_rd and ra else d[_RF_NAMES[ra]]
+                rb_val = bypass_val if rb == bypass_rd and rb else d[_RF_NAMES[rb]]
+
+                if 1 <= opnum <= 23 and opnum != _OP_MUL and opnum != _OP_MULH:
+                    # Single-cycle ALU (register-register and immediate).
+                    if opnum >= 16:
+                        rb_val = imm & MASK32
+                    res, carry, ovf = _alu(opnum, ra_val, rb_val)
+                    n = (res >> 31) & 1
+                    z = 1 if res == 0 else 0
+                    d["flags"] = (n << 3) | (z << 2) | (carry << 1) | ovf
+                    n_mw_valid = 1
+                    n_mw_wen = 1
+                    n_mw_rd = rd
+                    n_mw_val = res
+                elif opnum == _OP_MUL or opnum == _OP_MULH:
+                    if not d["mul_pending"]:
+                        d["mul_a"] = ra_val
+                        d["mul_b"] = rb_val
+                        d["mul_pending"] = 1
+                        stall = True
+                    else:
+                        prod = d["mul_a"] * d["mul_b"]
+                        res = (prod & MASK32) if opnum == _OP_MUL else ((prod >> 32) & MASK32)
+                        d["mul_pending"] = 0
+                        n = (res >> 31) & 1
+                        z = 1 if res == 0 else 0
+                        d["flags"] = (n << 3) | (z << 2)
+                        n_mw_valid = 1
+                        n_mw_wen = 1
+                        n_mw_rd = rd
+                        n_mw_val = res
+                elif opnum == _OP_LUI:
+                    n_mw_valid = 1
+                    n_mw_wen = 1
+                    n_mw_rd = rd
+                    n_mw_val = (word & 0xFFFF) << 16
+                elif _OP_LD <= opnum <= _OP_STB:
+                    addr = (ra_val + imm) & MASK32
+                    fault_code = -1
+                    if (opnum == _OP_LD or opnum == _OP_ST) and addr & 3:
+                        fault_code = CAUSE_MISALIGNED
+                    elif d["dbg_ctrl"] & 4 and addr == d["dbg_watch0"]:
+                        fault_code = CAUSE_WATCH
+                    elif d["mpu_ctrl"]:
+                        mc = d["mpu_ctrl"]
+                        for region in range(4):
+                            bits = (mc >> (2 * region)) & 3
+                            if bits == 3 and \
+                                    d[_MPU_BASE[region]] <= addr < d[_MPU_LIMIT[region]]:
+                                fault_code = CAUSE_MPU
+                                break
+                    if fault_code >= 0:
+                        d["cause"] = fault_code
+                        d["epc"] = if_pc
+                        d["status"] |= 1
+                        d["sflags"] = d["flags"]
+                        redirect = EXC_VECTOR
+                    else:
+                        if d["status"] & STATUS_CNT_EN:
+                            d["cnt_mem"] = (d["cnt_mem"] + 1) & MASK32
+                        n_lsu_valid = 1
+                        d["lsu_addr"] = addr
+                        if opnum == _OP_LD:
+                            n_lsu_op = _LSU_LD
+                        elif opnum == _OP_LDB:
+                            n_lsu_op = _LSU_LDB
+                        elif opnum == _OP_ST:
+                            n_lsu_op = _LSU_ST
+                            d["lsu_wdata"] = rb_val
+                        else:
+                            n_lsu_op = _LSU_STB
+                            d["lsu_wdata"] = rb_val
+                        is_load = opnum == _OP_LD or opnum == _OP_LDB
+                        n_mw_valid = 1
+                        n_mw_wen = 1 if is_load else 0
+                        n_mw_isload = 1 if is_load else 0
+                        n_mw_rd = rd
+                        n_mw_val = addr
+                elif 40 <= opnum <= 45:
+                    if d["status"] & STATUS_CNT_EN:
+                        d["cnt_branch"] = (d["cnt_branch"] + 1) & MASK32
+                    taken = _branch_taken(opnum, ra_val, rb_val)
+                    target = (seq_next + ((imm << 2) & MASK32)) & MASK32
+                    d["br_target"] = target
+                    d["br_taken"] = 1 if taken else 0
+                    n_br_valid = 1
+                    if taken:
+                        actual_next = target
+                        idx = (if_pc >> 2) & 3
+                        d[_BTB_TAG[idx]] = if_pc
+                        d[_BTB_TGT[idx]] = target
+                        d["btb_v"] |= 1 << idx
+                    elif d["if_pred"]:
+                        idx = (if_pc >> 2) & 3
+                        if d[_BTB_TAG[idx]] == if_pc:
+                            d["btb_v"] &= ~(1 << idx) & 0xF
+                    n_mw_valid = 1
+                elif opnum == _OP_JAL or opnum == _OP_JALR:
+                    if opnum == _OP_JAL:
+                        off = (word & 0x1FFFF) - (word & 0x20000)
+                        target = (seq_next + ((off << 2) & MASK32)) & MASK32
+                    else:
+                        target = (ra_val + imm) & MASK32 & ~3
+                    actual_next = target
+                    d["br_target"] = target
+                    d["br_taken"] = 1
+                    n_br_valid = 1
+                    idx = (if_pc >> 2) & 3
+                    d[_BTB_TAG[idx]] = if_pc
+                    d[_BTB_TGT[idx]] = target
+                    d["btb_v"] |= 1 << idx
+                    n_mw_valid = 1
+                    n_mw_wen = 1
+                    n_mw_rd = rd
+                    n_mw_val = seq_next
+                elif opnum == _OP_IN:
+                    n_lsu_valid = 1
+                    n_lsu_op = _LSU_IN
+                    d["lsu_addr"] = imm & MASK32
+                    n_mw_valid = 1
+                    n_mw_wen = 1
+                    n_mw_isload = 1
+                    n_mw_rd = rd
+                elif opnum == _OP_OUT:
+                    n_lsu_valid = 1
+                    n_lsu_op = _LSU_OUT
+                    d["lsu_addr"] = imm & MASK32
+                    d["lsu_wdata"] = rb_val
+                    n_mw_valid = 1
+                elif opnum == _OP_CSRR:
+                    n_mw_valid = 1
+                    n_mw_wen = 1
+                    n_mw_rd = rd
+                    n_mw_val = self._csr_read(imm)
+                elif opnum == _OP_CSRW:
+                    if imm == CSR_STATUS:
+                        d["status"] = rb_val & 0xFF
+                    elif imm == CSR_SCRATCH:
+                        d["scratch"] = rb_val
+                    else:
+                        target = _CSR_WRITE.get(imm)
+                        if target is not None:
+                            d[target[0]] = rb_val & target[1]
+                    n_mw_valid = 1
+                elif opnum == _OP_NOP:
+                    n_mw_valid = 1
+                elif opnum == _OP_HALT:
+                    halt_now = True
+
+                if not stall and not halt_now and redirect < 0 and actual_next != fetched_next:
+                    redirect = actual_next
+
+            if not stall:
+                n_mw_pc = if_pc
+            else:
+                n_mw_pc = d["mw_pc"]
+        else:
+            n_mw_pc = d["mw_pc"]
+
+        if not stall:
+            d["mw_valid"] = n_mw_valid
+            d["mw_wen"] = n_mw_wen
+            d["mw_isload"] = n_mw_isload
+            d["mw_rd"] = n_mw_rd
+            d["mw_val"] = n_mw_val
+            d["mw_pc"] = n_mw_pc
+            d["lsu_valid"] = n_lsu_valid
+            d["lsu_op"] = n_lsu_op
+        else:
+            d["mw_valid"] = 0
+            d["lsu_valid"] = 0
+            d["lsu_op"] = _LSU_NONE
+        d["br_valid"] = n_br_valid
+        d["sb_valid"] = n_sb_valid
+        d["sb_addr"] = n_sb_addr
+        d["sb_data"] = n_sb_data
+        d["sb_op"] = n_sb_op
+
+        # ------------------ IF stages ------------------
+        fetch_active = False
+        fetch_word = 0
+        pc = d["pc"]
+        if halt_now:
+            d["halted"] = 1
+            d["if_valid"] = 0
+            d["imc_valid"] = 0
+            d["imc_pred"] = 0
+        elif redirect >= 0:
+            d["pc"] = redirect
+            d["if_valid"] = 0
+            d["if_pred"] = 0
+            d["imc_valid"] = 0
+            d["imc_pred"] = 0
+        elif not stall:
+            # IF2: move the prefetch buffer into the decode latch.
+            d["if_ir"] = d["imc_data"]
+            d["if_pc"] = d["imc_addr"]
+            d["if_valid"] = d["imc_valid"]
+            d["if_pred"] = d["imc_pred"]
+            d["if_ptgt"] = d["imc_ptgt"]
+            # IF1: fetch at pc, with BTB next-fetch prediction.
+            fetch_word = mem.read_word(pc)
+            fetch_active = True
+            d["imc_addr"] = pc
+            d["imc_data"] = fetch_word
+            d["imc_valid"] = 1
+            idx = (pc >> 2) & 3
+            if (d["btb_v"] >> idx) & 1 and d[_BTB_TAG[idx]] == pc:
+                tgt = d[_BTB_TGT[idx]]
+                d["pc"] = tgt
+                d["imc_pred"] = 1
+                d["imc_ptgt"] = tgt
+            else:
+                d["pc"] = (pc + 4) & MASK32
+                d["imc_pred"] = 0
+
+        # ------------------ BIU external bus view ------------------
+        if d_read or d_write:
+            d["bus_addr"] = d_addr if d_read else d_waddr
+            d["bus_data"] = load_data if d_read else d_wdata
+            d["bus_ctrl"] = 3 if d_write else 2
+        elif fetch_active:
+            d["bus_addr"] = pc
+            d["bus_data"] = fetch_word
+            d["bus_ctrl"] = 1
+        else:
+            d["bus_ctrl"] = 0
+
+        d["cyc"] = (d["cyc"] + 1) & MASK32
+        return out
+
+    def _csr_read(self, num: int) -> int:
+        """Read a control/status register by number."""
+        if num == CSR_CYCLE:
+            return self.cyc
+        if num == CSR_STATUS:
+            return self.status
+        if num == CSR_SCRATCH:
+            return self.scratch
+        if num == CSR_FLAGS:
+            return self.flags
+        if num == CSR_CAUSE:
+            return self.cause
+        if num == CSR_EPC:
+            return self.epc
+        if num == CSR_CNT_BRANCH:
+            return self.cnt_branch
+        if num == CSR_CNT_MEM:
+            return self.cnt_mem
+        target = _CSR_WRITE.get(num)
+        if target is not None:
+            return getattr(self, target[0])
+        return 0
+
+    # -- convenience -----------------------------------------------------
+
+    def run(self, max_cycles: int = 1_000_000) -> int:
+        """Free-run until HALT or the cycle bound; returns cycles used."""
+        for cycle in range(max_cycles):
+            if self.halted:
+                return cycle
+            self.step()
+        return max_cycles
+
+    def reg(self, index: int) -> int:
+        """Architectural register read (for tests and examples)."""
+        if index == 0:
+            return 0
+        return getattr(self, _RF_NAMES[index])
+
+
+def _alu(opnum: int, a: int, b: int) -> tuple[int, int, int]:
+    """Single-cycle ALU: returns ``(result, carry, overflow)``."""
+    if opnum == 1 or opnum == 16:       # ADD / ADDI
+        full = a + b
+        res = full & MASK32
+        carry = 1 if full > MASK32 else 0
+        ovf = 1 if (~(a ^ b) & (a ^ res)) & 0x80000000 else 0
+        return res, carry, ovf
+    if opnum == 2:                      # SUB
+        full = a - b
+        res = full & MASK32
+        carry = 1 if a >= b else 0
+        ovf = 1 if ((a ^ b) & (a ^ res)) & 0x80000000 else 0
+        return res, carry, ovf
+    if opnum == 3 or opnum == 17:       # AND / ANDI
+        return a & b, 0, 0
+    if opnum == 4 or opnum == 18:       # OR / ORI
+        return a | b, 0, 0
+    if opnum == 5 or opnum == 19:       # XOR / XORI
+        return a ^ b, 0, 0
+    if opnum == 6 or opnum == 20:       # SHL / SHLI
+        return (a << (b & 31)) & MASK32, 0, 0
+    if opnum == 7 or opnum == 21:       # SHR / SHRI
+        return (a >> (b & 31)) & MASK32, 0, 0
+    if opnum == 8 or opnum == 22:       # SRA / SRAI
+        return (_signed(a) >> (b & 31)) & MASK32, 0, 0
+    if opnum == 9 or opnum == 23:       # SLT / SLTI
+        return (1 if _signed(a) < _signed(b) else 0), 0, 0
+    if opnum == 10:                     # SLTU
+        return (1 if a < b else 0), 0, 0
+    return 0, 0, 0                      # NOP-class
+
+
+def _branch_taken(opnum: int, a: int, b: int) -> bool:
+    """Evaluate a conditional branch."""
+    if opnum == 40:                     # BEQ
+        return a == b
+    if opnum == 41:                     # BNE
+        return a != b
+    if opnum == 42:                     # BLT
+        return _signed(a) < _signed(b)
+    if opnum == 43:                     # BGE
+        return _signed(a) >= _signed(b)
+    if opnum == 44:                     # BLTU
+        return a < b
+    return a >= b                       # BGEU

@@ -1,0 +1,98 @@
+"""Disassembler for the SR5 ISA.
+
+Produces assembly text that the :mod:`repro.cpu.assembler` accepts
+back (modulo labels: branch targets are emitted as numeric offsets),
+which gives the test suite an encode → disassemble → reassemble
+round-trip oracle and makes fault-injection logs human-readable.
+"""
+
+from __future__ import annotations
+
+from .isa import (
+    ALU_RI_OPS,
+    ALU_RR_OPS,
+    BRANCH_OPS,
+    Instruction,
+    Op,
+    decode,
+    is_legal,
+)
+
+_REG_NAMES = tuple(f"r{i}" for i in range(16))
+
+
+def disassemble_word(word: int) -> str:
+    """One machine word to one assembly line.
+
+    Only *canonical* encodings render as instructions — a word whose
+    unused fields carry stray bits (usually a data table entry that
+    happens to alias a legal opcode) renders as ``.word 0x...``, so
+    listings of mixed code/data images always reassemble bit-exactly.
+    """
+    if not is_legal(word):
+        return f".word {word:#010x}"
+    instr = decode(word)
+    if _canonical(instr).encode() != word:
+        return f".word {word:#010x}"
+    return format_instruction(instr)
+
+
+def _canonical(instr: Instruction) -> Instruction:
+    """The instruction with every field the printed form omits zeroed."""
+    op = instr.op
+    if op in ALU_RR_OPS:
+        return Instruction(op, rd=instr.rd, ra=instr.ra, rb=instr.rb)
+    if op in ALU_RI_OPS:
+        return Instruction(op, rd=instr.rd, ra=instr.ra, imm=instr.imm)
+    if op in (Op.LUI, Op.JAL, Op.IN, Op.CSRR):
+        return Instruction(op, rd=instr.rd, imm=instr.imm)
+    if op in (Op.LD, Op.LDB):
+        return Instruction(op, rd=instr.rd, ra=instr.ra, imm=instr.imm)
+    if op in (Op.ST, Op.STB):
+        return Instruction(op, ra=instr.ra, rb=instr.rb, imm=instr.imm)
+    if op in BRANCH_OPS:
+        return Instruction(op, ra=instr.ra, rb=instr.rb, imm=instr.imm)
+    if op == Op.JALR:
+        return Instruction(op, rd=instr.rd, ra=instr.ra, imm=instr.imm)
+    if op in (Op.OUT, Op.CSRW):
+        return Instruction(op, rb=instr.rb, imm=instr.imm)
+    return Instruction(op)  # NOP / HALT
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render a decoded instruction in assembler syntax."""
+    op = instr.op
+    mnem = op.name.lower()
+    rd, ra, rb = (_REG_NAMES[instr.rd], _REG_NAMES[instr.ra], _REG_NAMES[instr.rb])
+    if op in ALU_RR_OPS:
+        return f"{mnem} {rd}, {ra}, {rb}"
+    if op in ALU_RI_OPS:
+        return f"{mnem} {rd}, {ra}, {instr.imm}"
+    if op == Op.LUI:
+        return f"{mnem} {rd}, {instr.imm:#x}"
+    if op in (Op.LD, Op.LDB):
+        return f"{mnem} {rd}, {instr.imm}({ra})"
+    if op in (Op.ST, Op.STB):
+        return f"{mnem} {rb}, {instr.imm}({ra})"
+    if op in BRANCH_OPS:
+        return f"{mnem} {ra}, {rb}, {instr.imm}"
+    if op == Op.JAL:
+        return f"{mnem} {rd}, {instr.imm}"
+    if op == Op.JALR:
+        return f"{mnem} {rd}, {ra}, {instr.imm}"
+    if op == Op.IN:
+        return f"{mnem} {rd}, {instr.imm}"
+    if op in (Op.OUT, Op.CSRW):
+        return f"{mnem} {rb}, {instr.imm}"
+    if op == Op.CSRR:
+        return f"{mnem} {rd}, {instr.imm}"
+    return mnem  # NOP / HALT
+
+
+def disassemble(words: list[int], base_addr: int = 0) -> str:
+    """List a memory image: one ``addr: word  text`` line per word."""
+    lines = []
+    for i, word in enumerate(words):
+        addr = base_addr + 4 * i
+        lines.append(f"{addr:#06x}: {word:08x}  {disassemble_word(word)}")
+    return "\n".join(lines)

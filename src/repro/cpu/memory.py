@@ -1,0 +1,95 @@
+"""Shared memory and input stimulus models.
+
+In CPU-level lockstepping the caches and memory sit *outside* the
+sphere of replication (they carry their own ECC protection), so memory
+is modelled as a plain word-addressable store shared by the lockstepped
+cores.  Inputs to the sphere are replicated: every core reads the same
+deterministic stimulus stream through its own BIU index register.
+"""
+
+from __future__ import annotations
+
+from ..cpu.assembler import Program
+
+DEFAULT_MEM_WORDS = 1 << 14  # 64 KiB
+
+
+class MemoryError_(Exception):
+    """Raised on out-of-range physical accesses."""
+
+
+class Memory:
+    """A flat word-addressable memory with byte sub-access.
+
+    Word addresses are byte addresses divided by four; byte accesses
+    assume little-endian packing.
+    """
+
+    __slots__ = ("words", "size")
+
+    def __init__(self, size_words: int = DEFAULT_MEM_WORDS):
+        self.size = size_words
+        self.words = [0] * size_words
+
+    @classmethod
+    def from_program(cls, program: Program, size_words: int = DEFAULT_MEM_WORDS) -> "Memory":
+        """Create a memory initialised with an assembled program image."""
+        if len(program.words) > size_words:
+            raise MemoryError_("program does not fit in memory")
+        mem = cls(size_words)
+        mem.words[: len(program.words)] = program.words
+        return mem
+
+    def copy(self) -> "Memory":
+        """Deep copy (used to give a faulty core its own memory image)."""
+        clone = Memory.__new__(Memory)
+        clone.size = self.size
+        clone.words = list(self.words)
+        return clone
+
+    # The hot paths below intentionally avoid bounds checks beyond a
+    # wrap mask: a fault-corrupted address must not crash the simulator,
+    # it must behave like a bus access that wraps the small physical
+    # address space (common for simple SoC address decoders).
+
+    def read_word(self, byte_addr: int) -> int:
+        """Read the aligned word containing ``byte_addr``."""
+        return self.words[(byte_addr >> 2) % self.size]
+
+    def write_word(self, byte_addr: int, value: int) -> None:
+        """Write an aligned word."""
+        self.words[(byte_addr >> 2) % self.size] = value & 0xFFFFFFFF
+
+    def read_byte(self, byte_addr: int) -> int:
+        """Read one byte (little-endian lane select)."""
+        word = self.words[(byte_addr >> 2) % self.size]
+        return (word >> ((byte_addr & 3) * 8)) & 0xFF
+
+    def write_byte(self, byte_addr: int, value: int) -> None:
+        """Write one byte, read-modify-write on the containing word."""
+        idx = (byte_addr >> 2) % self.size
+        shift = (byte_addr & 3) * 8
+        word = self.words[idx]
+        self.words[idx] = (word & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+
+
+class InputStream:
+    """Deterministic replicated input stimulus for ``IN`` instructions.
+
+    The stream is indexed by the core's BIU ``io_in_idx`` register; a
+    fault that corrupts the index makes the core sample the wrong
+    stimulus word, exactly as a corrupted bus transfer counter would.
+    Reads beyond the end wrap around, so the stream behaves like a
+    periodic sensor.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: list[int] | None = None):
+        self.values = [v & 0xFFFFFFFF for v in (values or [0])]
+        if not self.values:
+            self.values = [0]
+
+    def sample(self, index: int) -> int:
+        """Return the stimulus word at ``index`` (wrapping)."""
+        return self.values[index % len(self.values)]

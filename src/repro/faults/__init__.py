@@ -1,0 +1,35 @@
+"""Fault models, golden traces, differential injection and campaigns."""
+
+from .campaign import (
+    CampaignConfig,
+    CampaignResult,
+    cached_campaign,
+    run_campaign,
+    sample_flops,
+    schedule_faults,
+)
+from .golden import CAMPAIGN_MEM_WORDS, GoldenTrace, LoggingMemory
+from .injector import InjectionEngine
+from .models import ErrorRecord, ErrorType, Fault, FaultKind, error_type_of
+from .stats import (
+    Spread,
+    diverged_set_size_ratio,
+    manifestation_rates,
+    manifestation_times,
+    mean_detection_time,
+    overall_manifestation_rate,
+    rate_spread,
+    table1,
+    time_spread,
+)
+
+__all__ = [
+    "CampaignConfig", "CampaignResult", "cached_campaign", "run_campaign",
+    "sample_flops", "schedule_faults",
+    "CAMPAIGN_MEM_WORDS", "GoldenTrace", "LoggingMemory",
+    "InjectionEngine",
+    "ErrorRecord", "ErrorType", "Fault", "FaultKind", "error_type_of",
+    "Spread", "diverged_set_size_ratio", "manifestation_rates",
+    "manifestation_times", "mean_detection_time", "overall_manifestation_rate",
+    "rate_spread", "table1", "time_spread",
+]

@@ -1,0 +1,223 @@
+"""Fault-injection campaign controller.
+
+The paper's methodology (Section IV-A): each benchmark's run time is
+divided into 64 equal intervals; one experiment injects a single
+random fault (soft flip, stuck-at-0 or stuck-at-1) into one flip-flop
+in one interval and runs the benchmark to completion; this repeats
+over every flip-flop, fault type and benchmark.
+
+The exhaustive product is ~10M injections on a server cluster; this
+controller reproduces the same stratified structure at a configurable
+scale: per-unit stratified flip-flop sampling and a configurable
+number of injection intervals per flop and fault type.  The soft:hard
+injection ratio is configurable so the resulting *error* dataset can
+be balanced like the paper's (see DESIGN.md §5.4).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..cpu.units import FINE_UNITS, FlopRef, all_flops
+from ..workloads.kernels import DEFAULT_SEED, KERNELS
+from .golden import GoldenTrace
+from .injector import InjectionEngine
+from .models import ErrorRecord, Fault, FaultKind
+
+#: Bump when the CPU model, SC layout or record schema changes.
+CAMPAIGN_SCHEMA_VERSION = 2
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters of a fault-injection campaign."""
+
+    benchmarks: tuple[str, ...] = tuple(KERNELS)
+    seed: int = DEFAULT_SEED
+    intervals: int = 64
+    #: soft injections per sampled flop per benchmark.
+    soft_per_flop: int = 2
+    #: injections per stuck-at polarity per sampled flop per benchmark.
+    hard_per_flop: int = 1
+    #: fraction of each unit's flops to sample (stratified, >=1 per unit).
+    flop_fraction: float = 1.0
+    #: cap on post-activation observation for hard faults (None: to end).
+    max_observe: int | None = 2000
+    mask_check_stride: int = 4
+
+    @classmethod
+    def quick(cls) -> "CampaignConfig":
+        """A seconds-scale configuration for unit tests."""
+        return cls(benchmarks=("ttsprk",), soft_per_flop=1, hard_per_flop=1,
+                   flop_fraction=0.05, max_observe=600)
+
+    @classmethod
+    def default(cls) -> "CampaignConfig":
+        """The benchmark-harness scale (minutes on one machine)."""
+        return cls(soft_per_flop=2, hard_per_flop=1, flop_fraction=0.35)
+
+    @classmethod
+    def full(cls) -> "CampaignConfig":
+        """Exhaustive enumeration of every flop (hours-scale)."""
+        return cls(soft_per_flop=4, hard_per_flop=1, flop_fraction=1.0,
+                   max_observe=None)
+
+    def cache_key(self) -> str:
+        """Stable hash identifying this configuration.
+
+        The schema version is folded in so cached results from older
+        library versions (different record layout or CPU behaviour)
+        are never reused.
+        """
+        text = f"{CAMPAIGN_SCHEMA_VERSION}:{self!r}"
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+@dataclass
+class CampaignResult:
+    """Everything the downstream analyses need from a campaign."""
+
+    config: CampaignConfig
+    records: list[ErrorRecord]
+    #: injections per (fine unit, FaultKind.value) -> count.
+    injected: dict[tuple[str, str], int]
+    #: golden run length per benchmark (the task restart cost basis).
+    golden_cycles: dict[str, int]
+    #: sampled flops per fine unit.
+    sampled_flops: dict[str, int]
+    wall_seconds: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_injected(self) -> int:
+        """Total number of fault injections performed."""
+        return sum(self.injected.values())
+
+    @property
+    def n_errors(self) -> int:
+        """Total number of manifested errors."""
+        return len(self.records)
+
+    def save(self, path: str | Path) -> None:
+        """Persist to disk (pickle)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as fh:
+            pickle.dump(self, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def load(path: str | Path) -> "CampaignResult":
+        """Load a previously saved campaign."""
+        with open(path, "rb") as fh:
+            result = pickle.load(fh)
+        if not isinstance(result, CampaignResult):
+            raise TypeError(f"{path} does not contain a CampaignResult")
+        return result
+
+
+def sample_flops(config: CampaignConfig, rng: np.random.Generator) -> list[FlopRef]:
+    """Stratified per-unit flop sample.
+
+    Sampling is stratified over the *fine* taxonomy so that every unit
+    (including small ones like DPU.FLAGS) contributes experiments even
+    at low sampling fractions.
+    """
+    flops = all_flops()
+    chosen: list[FlopRef] = []
+    for unit in FINE_UNITS:
+        unit_flops = [f for f in flops if f.unit == unit]
+        k = max(1, round(config.flop_fraction * len(unit_flops)))
+        k = min(k, len(unit_flops))
+        idxs = rng.choice(len(unit_flops), size=k, replace=False)
+        chosen.extend(unit_flops[i] for i in sorted(int(i) for i in idxs))
+    return chosen
+
+
+def schedule_faults(flop: FlopRef, n_cycles: int, config: CampaignConfig,
+                    rng: np.random.Generator) -> list[Fault]:
+    """Build the fault list for one flop on one benchmark.
+
+    Soft faults land in ``soft_per_flop`` distinct random intervals;
+    each stuck-at polarity lands in ``hard_per_flop`` random intervals.
+    Within an interval the injection cycle is uniform.
+    """
+    interval_len = max(1, n_cycles // config.intervals)
+    n_intervals = max(1, n_cycles // interval_len)
+
+    def pick_cycles(count: int) -> list[int]:
+        count = min(count, n_intervals)
+        intervals = rng.choice(n_intervals, size=count, replace=False)
+        return [
+            min(n_cycles - 1, int(iv) * interval_len + int(rng.integers(interval_len)))
+            for iv in intervals
+        ]
+
+    faults = [Fault(flop, FaultKind.SOFT, c) for c in pick_cycles(config.soft_per_flop)]
+    for kind in (FaultKind.STUCK0, FaultKind.STUCK1):
+        faults.extend(Fault(flop, kind, c) for c in pick_cycles(config.hard_per_flop))
+    return faults
+
+
+def run_campaign(config: CampaignConfig | None = None,
+                 progress: bool = False) -> CampaignResult:
+    """Execute a campaign and return its result."""
+    config = config or CampaignConfig.default()
+    rng = np.random.default_rng(config.seed)
+    flops = sample_flops(config, rng)
+
+    records: list[ErrorRecord] = []
+    injected: dict[tuple[str, str], int] = {}
+    golden_cycles: dict[str, int] = {}
+    sampled: dict[str, int] = {}
+    for flop in flops:
+        sampled[flop.unit] = sampled.get(flop.unit, 0) + 1
+
+    start = time.perf_counter()
+    for bench in config.benchmarks:
+        golden = GoldenTrace(KERNELS[bench], seed=config.seed)
+        golden_cycles[bench] = golden.n_cycles
+        engine = InjectionEngine(golden, max_observe=config.max_observe,
+                                 mask_check_stride=config.mask_check_stride)
+        for i, flop in enumerate(flops):
+            for fault in schedule_faults(flop, golden.n_cycles, config, rng):
+                key = (flop.unit, fault.kind.value)
+                injected[key] = injected.get(key, 0) + 1
+                record = engine.inject(fault)
+                if record is not None:
+                    records.append(record)
+            if progress and i % 200 == 0:
+                elapsed = time.perf_counter() - start
+                print(f"[campaign] {bench}: flop {i}/{len(flops)} "
+                      f"errors={len(records)} t={elapsed:.0f}s", flush=True)
+
+    return CampaignResult(
+        config=config,
+        records=records,
+        injected=injected,
+        golden_cycles=golden_cycles,
+        sampled_flops=sampled,
+        wall_seconds=time.perf_counter() - start,
+    )
+
+
+def cached_campaign(config: CampaignConfig | None = None,
+                    cache_dir: str | Path = ".campaign_cache",
+                    progress: bool = False) -> CampaignResult:
+    """Run a campaign, or load it from the on-disk cache if present.
+
+    All benchmark-harness figures share one campaign run through this
+    cache, keyed by the configuration hash.
+    """
+    config = config or CampaignConfig.default()
+    path = Path(cache_dir) / f"campaign_{config.cache_key()}.pkl"
+    if path.exists():
+        return CampaignResult.load(path)
+    result = run_campaign(config, progress=progress)
+    result.save(path)
+    return result

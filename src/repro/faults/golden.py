@@ -1,0 +1,121 @@
+"""Golden (fault-free) reference traces.
+
+The fault-injection engine exploits lockstep symmetry: simulating the
+redundant *fault-free* core is equivalent to replaying a recorded
+fault-free trace.  A golden trace therefore records, for every cycle,
+the output-port vector and the full flip-flop snapshot, plus a memory
+write log — enough to (a) start a faulty core at any cycle, (b) detect
+divergence against the virtual fault-free partner, and (c) detect when
+a transient's effects have been fully masked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cpu.assembler import Program, assemble
+from ..cpu.core import Cpu
+from ..cpu.memory import InputStream, Memory
+from ..cpu.units import REG_INDEX
+from ..workloads.kernels import DEFAULT_SEED, Workload
+
+#: Memory size used throughout the injection study.  Small enough that
+#: per-experiment memory reconstruction is cheap; large enough for
+#: every kernel's code, tables and data buffers.
+CAMPAIGN_MEM_WORDS = 2048
+
+
+class LoggingMemory(Memory):
+    """Memory that logs committed word values with their cycle stamp."""
+
+    __slots__ = ("log", "now")
+
+    def __init__(self, size_words: int):
+        super().__init__(size_words)
+        self.log: list[tuple[int, int, int]] = []  # (cycle, word index, value after)
+        self.now = 0
+
+    def write_word(self, byte_addr: int, value: int) -> None:
+        idx = (byte_addr >> 2) % self.size
+        value &= 0xFFFFFFFF
+        self.words[idx] = value
+        self.log.append((self.now, idx, value))
+
+    def write_byte(self, byte_addr: int, value: int) -> None:
+        idx = (byte_addr >> 2) % self.size
+        shift = (byte_addr & 3) * 8
+        word = (self.words[idx] & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+        self.words[idx] = word
+        self.log.append((self.now, idx, word))
+
+
+class GoldenTrace:
+    """Fault-free execution record of one workload kernel.
+
+    Attributes:
+        workload: the kernel that was traced.
+        program: its assembled image.
+        stimulus: the replicated input stream.
+        n_cycles: trace length (cycles until HALT).
+        outputs: per-cycle 62-SC output port vectors.
+        states: per-cycle flip-flop snapshots; ``states[t]`` is the
+            state at the *start* of cycle ``t``.
+    """
+
+    def __init__(self, workload: Workload, seed: int = DEFAULT_SEED,
+                 max_cycles: int = 100_000, mem_words: int = CAMPAIGN_MEM_WORDS):
+        self.workload = workload
+        self.seed = seed
+        self.mem_words = mem_words
+        self.program: Program = assemble(workload.source)
+        self.stimulus = InputStream(workload.stimulus(seed))
+        self._initial_words = [0] * mem_words
+        self._initial_words[: len(self.program.words)] = self.program.words
+
+        mem = LoggingMemory(mem_words)
+        mem.words[: len(self.program.words)] = self.program.words
+        cpu = Cpu(mem, self.stimulus, entry=self.program.entry)
+        outputs: list[tuple[int, ...]] = []
+        states: list[tuple[int, ...]] = []
+        t = 0
+        while not cpu.halted and t < max_cycles:
+            mem.now = t
+            states.append(cpu.snapshot())
+            outputs.append(cpu.step())
+            t += 1
+        if not cpu.halted:
+            raise RuntimeError(
+                f"golden run of {workload.name!r} did not halt in {max_cycles} cycles")
+        self.n_cycles = t
+        self.outputs = outputs
+        self.states = states
+        self.write_log = mem.log
+        #: (n_cycles, n_registers) matrix of register values, used for
+        #: vectorised stuck-at activation search.
+        self.state_matrix = np.array(states, dtype=np.uint64)
+
+    def memory_at(self, cycle: int) -> Memory:
+        """Reconstruct the memory image as of the start of ``cycle``."""
+        mem = Memory.__new__(Memory)
+        mem.size = self.mem_words
+        mem.words = list(self._initial_words)
+        for when, idx, value in self.write_log:
+            if when >= cycle:
+                break
+            mem.words[idx] = value
+        return mem
+
+    def activation_cycle(self, reg: str, bit: int, value: int, start: int) -> int | None:
+        """First cycle >= ``start`` where the golden flop differs from ``value``.
+
+        A stuck-at fault is inert while the flop happens to hold the
+        stuck value; until this cycle the faulty core is bit-identical
+        to the golden core, so simulation can start here.  Returns None
+        when the fault is never activated (fully masked).
+        """
+        col = self.state_matrix[start:, REG_INDEX[reg]]
+        bits = (col >> np.uint64(bit)) & np.uint64(1)
+        hits = np.nonzero(bits != value)[0]
+        if hits.size == 0:
+            return None
+        return start + int(hits[0])

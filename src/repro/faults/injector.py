@@ -1,0 +1,131 @@
+"""Differential fault-injection engine.
+
+For every injection the engine simulates only the *faulty* core,
+starting from the golden snapshot at (or after) the injection point,
+and compares its output ports against the golden trace every cycle —
+behaviourally identical to running a dual-core lockstep pair with the
+fault in one core, at a fraction of the cost:
+
+* a transient whose architectural effects re-converge to the golden
+  state is declared masked the moment states match (outputs-equal up
+  to that point implies memory-equal, because any differing store
+  manifests on the data/bus port SCs in its commit cycle);
+* a stuck-at fault is simulated only from its *activation cycle* — the
+  first cycle the golden flop value differs from the stuck value — and
+  is masked outright if never activated.
+"""
+
+from __future__ import annotations
+
+from ..cpu.core import Cpu
+from ..cpu.memory import Memory
+from ..cpu.units import REG_INDEX
+from ..lockstep.categories import diverged_set
+from .golden import GoldenTrace
+from .models import ErrorRecord, Fault, FaultKind
+
+
+class InjectionEngine:
+    """Runs fault-injection experiments against one golden trace."""
+
+    def __init__(self, golden: GoldenTrace, max_observe: int | None = None,
+                 mask_check_stride: int = 4):
+        """Args:
+            golden: the fault-free reference trace.
+            max_observe: cap on simulated cycles after a hard fault's
+                activation (None = until the benchmark completes).  The
+                paper's detection latencies are heavy-tailed; the cap
+                trades the extreme tail for campaign throughput.
+            mask_check_stride: how often (in cycles) the transient
+                masking check compares full states.
+        """
+        self.golden = golden
+        self.max_observe = max_observe
+        self.mask_check_stride = max(1, mask_check_stride)
+        dummy = Memory.__new__(Memory)
+        dummy.size = golden.mem_words
+        dummy.words = [0] * 0
+        self._cpu = Cpu(Memory(16), golden.stimulus)
+
+    def inject(self, fault: Fault) -> ErrorRecord | None:
+        """Run one experiment; returns the error record or None if masked."""
+        if fault.kind is FaultKind.SOFT:
+            return self._inject_soft(fault)
+        return self._inject_hard(fault)
+
+    # -- transient -----------------------------------------------------------
+
+    def _inject_soft(self, fault: Fault) -> ErrorRecord | None:
+        golden = self.golden
+        t0 = fault.cycle
+        if not 0 <= t0 < golden.n_cycles:
+            return None
+        reg_idx = REG_INDEX[fault.flop.reg]
+        state = list(golden.states[t0])
+        state[reg_idx] ^= 1 << fault.flop.bit
+
+        cpu = self._cpu
+        cpu.restore(tuple(state))
+        cpu.mem = golden.memory_at(t0)
+        g_outputs = golden.outputs
+        g_states = golden.states
+        n = golden.n_cycles
+        stride = self.mask_check_stride
+        for t in range(t0, n):
+            out = cpu.step()
+            if out != g_outputs[t]:
+                return ErrorRecord(
+                    benchmark=golden.workload.name,
+                    flop=fault.flop,
+                    kind=fault.kind,
+                    inject_cycle=t0,
+                    detect_cycle=t,
+                    diverged=diverged_set(out, g_outputs[t]),
+                )
+            if t + 1 < n and (t - t0) % stride == 0 and cpu.snapshot() == g_states[t + 1]:
+                return None  # fully re-converged: masked
+        return None  # ran to completion without divergence: masked
+
+    # -- permanent -----------------------------------------------------------
+
+    def _inject_hard(self, fault: Fault) -> ErrorRecord | None:
+        golden = self.golden
+        t0 = fault.cycle
+        if not 0 <= t0 < golden.n_cycles:
+            return None
+        reg = fault.flop.reg
+        bit = fault.flop.bit
+        value = 1 if fault.kind is FaultKind.STUCK1 else 0
+        t_act = golden.activation_cycle(reg, bit, value, t0)
+        if t_act is None:
+            return None  # the flop never holds the complementary value
+
+        reg_idx = REG_INDEX[reg]
+        mask = 1 << bit
+        state = list(golden.states[t_act])
+        state[reg_idx] = (state[reg_idx] | mask) if value else (state[reg_idx] & ~mask)
+
+        cpu = self._cpu
+        cpu.restore(tuple(state))
+        cpu.mem = golden.memory_at(t_act)
+        g_outputs = golden.outputs
+        n = golden.n_cycles
+        end = n if self.max_observe is None else min(n, t_act + self.max_observe)
+        d = cpu.__dict__
+        for t in range(t_act, end):
+            # Re-assert the stuck-at before the cycle evaluates.
+            if value:
+                d[reg] |= mask
+            else:
+                d[reg] &= ~mask
+            out = cpu.step()
+            if out != g_outputs[t]:
+                return ErrorRecord(
+                    benchmark=golden.workload.name,
+                    flop=fault.flop,
+                    kind=fault.kind,
+                    inject_cycle=t0,
+                    detect_cycle=t,
+                    diverged=diverged_set(out, g_outputs[t]),
+                )
+        return None

@@ -1,0 +1,26 @@
+"""Gate-level area/power model of the predictor hardware."""
+
+from .costs import OverheadRow, table4
+from .gates import (
+    GE_AREA,
+    CostSummary,
+    Netlist,
+    or_tree,
+    summarize,
+    xor_tree,
+)
+from .predictor_rtl import (
+    R5_CLASS_CORE_GE,
+    checker_netlist,
+    dual_lockstep_summary,
+    predictor_netlist,
+    r5_class_core_summary,
+    sr5_core_netlist,
+)
+
+__all__ = [
+    "OverheadRow", "table4",
+    "GE_AREA", "CostSummary", "Netlist", "or_tree", "summarize", "xor_tree",
+    "R5_CLASS_CORE_GE", "checker_netlist", "dual_lockstep_summary",
+    "predictor_netlist", "r5_class_core_summary", "sr5_core_netlist",
+]

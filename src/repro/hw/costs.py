@@ -1,0 +1,56 @@
+"""Table IV roll-up: predictor area/power overhead ratios."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .gates import summarize
+from .predictor_rtl import (
+    dual_lockstep_summary,
+    predictor_netlist,
+    r5_class_core_summary,
+    sr5_core_netlist,
+)
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One row of Table IV: predictor overhead vs. a reference design."""
+
+    reference: str
+    area_overhead: float
+    power_overhead: float
+
+
+def table4(n_entries: int = 1200, ptar_bits: int = 11,
+           core: str = "r5") -> list[OverheadRow]:
+    """Compute the paper's Table IV for the chosen core basis.
+
+    Args:
+        n_entries: prediction table entry count sizing the mapper.
+        ptar_bits: PTAR width.
+        core: "r5" prices cores at the R5-class gate budget (the
+            paper's reporting basis); "sr5" uses this repo's simulated
+            core's own gate estimate (an honest small-core ratio —
+            necessarily larger, since the predictor is fixed-size).
+    """
+    if core == "r5":
+        single = r5_class_core_summary()
+    elif core == "sr5":
+        single = summarize(sr5_core_netlist())
+    else:
+        raise ValueError(f"unknown core basis {core!r}")
+    dual = dual_lockstep_summary(single, n_cores=2)
+    predictor = summarize(predictor_netlist(n_entries, ptar_bits))
+    return [
+        OverheadRow(
+            reference=f"Dual-CPU {single.name} lockstep",
+            area_overhead=predictor.area_overhead_vs(dual),
+            power_overhead=predictor.power_overhead_vs(dual),
+        ),
+        OverheadRow(
+            reference=f"A single {single.name} CPU",
+            area_overhead=predictor.area_overhead_vs(single),
+            power_overhead=predictor.power_overhead_vs(single),
+        ),
+    ]

@@ -1,0 +1,111 @@
+"""Gate-level cost model (the Synopsys DC/ICC/PrimeTime substitute).
+
+The paper synthesises the predictor in a 32 nm commercial library and
+reports *relative* area and power (Table IV).  We replace the EDA flow
+with a standard gate-equivalent (GE) model: every primitive is priced
+in NAND2-equivalents for area, and power combines per-GE leakage with
+activity-weighted dynamic energy.  The constants are ordinary 32nm-
+class planning numbers; since Table IV reports ratios, only their
+relative magnitudes matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Gate-equivalent (NAND2 = 1.0) areas of the primitive cells.
+GE_AREA: dict[str, float] = {
+    "nand2": 1.0,
+    "nor2": 1.0,
+    "and2": 1.5,
+    "or2": 1.5,
+    "xor2": 2.5,
+    "mux2": 2.5,
+    "dff": 7.0,
+}
+
+#: NAND2 cell area in um^2 for a 32nm-class library (absolute area
+#: reporting only; all Table IV numbers are ratios).
+NAND2_UM2 = 0.8
+
+#: Relative leakage power per GE (arbitrary units).
+LEAKAGE_PER_GE = 0.10
+#: Relative dynamic power per GE at activity factor 1.0.
+DYNAMIC_PER_GE = 1.00
+
+
+@dataclass
+class Netlist:
+    """A bag of primitive cells with an aggregate activity factor."""
+
+    name: str
+    cells: dict[str, int] = field(default_factory=dict)
+    #: fraction of cells switching per cycle (for dynamic power).
+    activity: float = 0.15
+
+    def add(self, cell: str, count: int) -> None:
+        """Add ``count`` primitives of type ``cell``."""
+        if cell not in GE_AREA:
+            raise KeyError(f"unknown cell {cell!r}")
+        if count < 0:
+            raise ValueError("cell count must be non-negative")
+        self.cells[cell] = self.cells.get(cell, 0) + count
+
+    def merge(self, other: "Netlist") -> None:
+        """Fold another netlist's cells into this one (keeps activity)."""
+        for cell, count in other.cells.items():
+            self.add(cell, count)
+
+    @property
+    def gate_equivalents(self) -> float:
+        """Total area in NAND2-equivalents."""
+        return sum(GE_AREA[cell] * count for cell, count in self.cells.items())
+
+    @property
+    def area_um2(self) -> float:
+        """Absolute area estimate."""
+        return self.gate_equivalents * NAND2_UM2
+
+    @property
+    def power(self) -> float:
+        """Relative worst-case total power (leakage + dynamic)."""
+        ge = self.gate_equivalents
+        return ge * (LEAKAGE_PER_GE + self.activity * DYNAMIC_PER_GE)
+
+
+def or_tree(n_inputs: int) -> int:
+    """OR2 gates needed to reduce ``n_inputs`` signals to one."""
+    return max(0, n_inputs - 1)
+
+
+def xor_tree(n_inputs: int) -> int:
+    """XOR2 gates needed to reduce ``n_inputs`` signals to one."""
+    return max(0, n_inputs - 1)
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    """Area/power of one block plus ratios against references."""
+
+    name: str
+    gate_equivalents: float
+    area_um2: float
+    power: float
+
+    def area_overhead_vs(self, other: "CostSummary") -> float:
+        """Fractional area overhead relative to ``other``."""
+        return self.gate_equivalents / other.gate_equivalents
+
+    def power_overhead_vs(self, other: "CostSummary") -> float:
+        """Fractional power overhead relative to ``other``."""
+        return self.power / other.power
+
+
+def summarize(netlist: Netlist) -> CostSummary:
+    """Roll a netlist up into a :class:`CostSummary`."""
+    return CostSummary(
+        name=netlist.name,
+        gate_equivalents=netlist.gate_equivalents,
+        area_um2=netlist.area_um2,
+        power=netlist.power,
+    )

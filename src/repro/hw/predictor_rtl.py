@@ -1,0 +1,106 @@
+"""Structural models of the checker, the predictor and the CPUs.
+
+These mirror the paper's Figure 6 partitioning:
+
+* the **error checker** (baseline hardware, present in any lockstep
+  design) holds one XOR comparator per compared output signal, the
+  per-SC OR-reduction trees and the final error OR tree;
+* the **error correlation predictor** adds only the Divergence Status
+  Register (one sticky bit per SC), the address-mapping logic and the
+  Prediction Table Address Register — the table itself lives in ECC
+  memory and costs no dedicated silicon;
+* CPU cores are priced at a documented gate budget: the R5-class
+  figure reproduces the paper's reporting basis, and the SR5 figure
+  (derived from this repo's actual flip-flop inventory) gives the
+  honest small-core ratio.
+"""
+
+from __future__ import annotations
+
+from ..cpu.units import TOTAL_FLOPS
+from ..lockstep.categories import SIGNAL_CATEGORIES, TOTAL_PORT_SIGNALS
+from .gates import CostSummary, Netlist, or_tree, summarize, xor_tree
+
+#: Gate budget of one Cortex-R5-class core in NAND2-equivalents.  The
+#: R5 is an ~8-stage dual-issue real-time core; public planning
+#: figures put cores of this class at the low hundreds of kGE.
+R5_CLASS_CORE_GE = 125_000.0
+
+#: Combinational gates per flip-flop for the SR5's simple datapath
+#: (logic depth of a compact in-order core).
+SR5_LOGIC_PER_FLOP = 12.0
+
+#: Activity factors: core logic vs. checker/predictor front-end, which
+#: toggles with raw bus signals every cycle.
+CORE_ACTIVITY = 0.15
+CHECKER_ACTIVITY = 0.40
+
+
+def checker_netlist(n_cores: int = 2) -> Netlist:
+    """The lockstep error checker for ``n_cores`` cores.
+
+    Each redundant core beyond the first adds a full rank of per-bit
+    comparators feeding the shared SC OR-reduction trees.
+    """
+    net = Netlist("lockstep-checker", activity=CHECKER_ACTIVITY)
+    comparator_ranks = n_cores - 1
+    net.add("xor2", TOTAL_PORT_SIGNALS * comparator_ranks)
+    for sc in SIGNAL_CATEGORIES:
+        net.add("or2", or_tree(sc.width * comparator_ranks))
+    net.add("or2", or_tree(len(SIGNAL_CATEGORIES)))  # final error signal
+    net.add("dff", 2)  # latched error flag + stop request
+    return net
+
+
+def predictor_netlist(n_entries: int = 1200, ptar_bits: int = 11) -> Netlist:
+    """The error correlation prediction logic (paper Fig. 6, red box).
+
+    Args:
+        n_entries: observed diverged SC sets (sizes the mapping logic).
+        ptar_bits: PTAR register width (11 bits for ~1200 sets).
+
+    The address mapping is modelled as a pipelined hash network: one
+    XOR reduction tree per PTAR bit over half the DSR bits, plus a
+    sticky-set OR gate per DSR bit.  The prediction *table* is not
+    included — it resides in existing ECC-protected memory.
+    """
+    if n_entries < 1:
+        raise ValueError("mapping needs at least one entry")
+    n_scs = len(SIGNAL_CATEGORIES)
+    net = Netlist("error-correlation-predictor", activity=CHECKER_ACTIVITY)
+    net.add("dff", n_scs)            # DSR
+    net.add("or2", n_scs)            # sticky-set per DSR bit
+    for _ in range(ptar_bits):       # hash network
+        net.add("xor2", xor_tree(n_scs // 2))
+    net.add("dff", ptar_bits)        # PTAR
+    net.add("and2", ptar_bits)       # load-enable gating
+    return net
+
+
+def sr5_core_netlist() -> Netlist:
+    """Gate estimate of one SR5 core from its real flop inventory."""
+    net = Netlist("sr5-core", activity=CORE_ACTIVITY)
+    net.add("dff", TOTAL_FLOPS)
+    net.add("nand2", int(TOTAL_FLOPS * SR5_LOGIC_PER_FLOP))
+    return net
+
+
+def r5_class_core_summary() -> CostSummary:
+    """Cost summary of one R5-class core at the documented budget."""
+    return CostSummary(
+        name="r5-class-core",
+        gate_equivalents=R5_CLASS_CORE_GE,
+        area_um2=R5_CLASS_CORE_GE * 0.8,
+        power=R5_CLASS_CORE_GE * (0.10 + CORE_ACTIVITY * 1.00),
+    )
+
+
+def dual_lockstep_summary(core: CostSummary, n_cores: int = 2) -> CostSummary:
+    """``n_cores`` lockstepped cores plus the error checker."""
+    checker = summarize(checker_netlist(n_cores))
+    return CostSummary(
+        name=f"{n_cores}x-{core.name}-lockstep",
+        gate_equivalents=n_cores * core.gate_equivalents + checker.gate_equivalents,
+        area_um2=n_cores * core.area_um2 + checker.area_um2,
+        power=n_cores * core.power + checker.power,
+    )

@@ -1,0 +1,21 @@
+"""Lockstep substrate: signal categories, checkers, DMR/TMR wrappers."""
+
+from .categories import (
+    SC_INDEX,
+    SIGNAL_CATEGORIES,
+    TOTAL_PORT_SIGNALS,
+    SignalCategory,
+    diverged_set,
+    dsr_to_set,
+    dsr_value,
+)
+from .checker import CheckerState, LockstepChecker, VotingChecker
+from .dmr import DmrLockstep
+from .tmr import TmrLockstep
+
+__all__ = [
+    "SC_INDEX", "SIGNAL_CATEGORIES", "TOTAL_PORT_SIGNALS", "SignalCategory",
+    "diverged_set", "dsr_to_set", "dsr_value",
+    "CheckerState", "LockstepChecker", "VotingChecker",
+    "DmrLockstep", "TmrLockstep",
+]

@@ -1,0 +1,95 @@
+"""Signal categories (SCs) on the CPU output port boundary.
+
+A *signal category* is a group of related output port signals (paper
+Fig. 3a): e.g. the low byte of the data address bus.  The checker
+OR-reduces the per-bit comparison of each SC into one divergence bit,
+and the concatenation of those bits is the Divergence Status Register
+(DSR).  The SR5 core exposes exactly 62 SCs, matching the Cortex-R5
+categorisation used in the paper.
+
+The order of :data:`SIGNAL_CATEGORIES` matches the tuple returned by
+:meth:`repro.cpu.core.Cpu.outputs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cpu.core import NUM_SCS
+
+
+@dataclass(frozen=True)
+class SignalCategory:
+    """A named group of output port signals.
+
+    Attributes:
+        name: human-readable identifier.
+        width: number of signals (bits) in the category.
+        group: coarse port group ("iside", "dside", "bus", "io",
+            "trace", "wb", "branch", "status", "pfu", "sbuf").
+    """
+
+    name: str
+    width: int
+    group: str
+
+
+def _bus_bytes(prefix: str, group: str) -> list[SignalCategory]:
+    return [SignalCategory(f"{prefix}[{8 * i + 7}:{8 * i}]", 8, group) for i in range(4)]
+
+
+def _bus_nibbles(prefix: str, group: str) -> list[SignalCategory]:
+    return [SignalCategory(f"{prefix}[{4 * i + 3}:{4 * i}]", 4, group) for i in range(8)]
+
+
+#: The 62 signal categories, in output-tuple order.
+SIGNAL_CATEGORIES: tuple[SignalCategory, ...] = tuple(
+    _bus_bytes("iaddr", "iside")
+    + [SignalCategory("ivalid", 1, "iside"), SignalCategory("ipred", 1, "iside")]
+    + _bus_nibbles("daddr", "dside")
+    + _bus_nibbles("dwdata", "dside")
+    + [SignalCategory("dctrl", 4, "dside"), SignalCategory("dstrb", 4, "dside")]
+    + _bus_bytes("busaddr", "bus")
+    + _bus_nibbles("busdata", "bus")
+    + [SignalCategory("busctrl", 4, "bus")]
+    + _bus_nibbles("ioout", "io")
+    + [SignalCategory("iostrobe", 1, "io")]
+    + _bus_bytes("retpc", "trace")
+    + _bus_nibbles("retval", "trace")
+    + [
+        SignalCategory("retrd", 4, "trace"),
+        SignalCategory("retvalid", 1, "trace"),
+        SignalCategory("ev_sys", 2, "event"),
+        SignalCategory("ev_br", 2, "event"),
+    ]
+)
+
+assert len(SIGNAL_CATEGORIES) == NUM_SCS, "SC table must match CPU output tuple"
+
+#: SC name -> index in the output tuple / DSR bit position.
+SC_INDEX: dict[str, int] = {sc.name: i for i, sc in enumerate(SIGNAL_CATEGORIES)}
+
+#: Total number of compared output port signals per CPU.
+TOTAL_PORT_SIGNALS: int = sum(sc.width for sc in SIGNAL_CATEGORIES)
+
+
+def diverged_set(outputs_a: tuple[int, ...], outputs_b: tuple[int, ...]) -> frozenset[int]:
+    """SC indices where two output port vectors disagree.
+
+    This is the diverged SC set of paper Fig. 3c; an empty set means
+    the cores are in lockstep this cycle.
+    """
+    return frozenset(i for i, (a, b) in enumerate(zip(outputs_a, outputs_b)) if a != b)
+
+
+def dsr_value(diverged: frozenset[int]) -> int:
+    """Pack a diverged SC set into the DSR's bit representation."""
+    value = 0
+    for idx in diverged:
+        value |= 1 << idx
+    return value
+
+
+def dsr_to_set(value: int) -> frozenset[int]:
+    """Unpack a DSR bit value back into a diverged SC set."""
+    return frozenset(i for i in range(NUM_SCS) if (value >> i) & 1)

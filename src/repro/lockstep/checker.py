@@ -1,0 +1,120 @@
+"""The lockstep error checker.
+
+The checker sits at the sphere-of-replication boundary: it compares the
+output ports of the redundant CPUs every cycle, OR-reduces each signal
+category and raises the error signal on the first divergence.  When the
+error fires it freezes the Divergence Status Register (DSR) with the
+diverged-SC bitmap of the detection cycle — the raw material of the
+error correlation predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cpu.core import NUM_SCS
+from .categories import diverged_set, dsr_value
+
+
+@dataclass
+class CheckerState:
+    """Latched result of a lockstep comparison."""
+
+    error: bool = False
+    error_cycle: int | None = None
+    dsr: int = 0
+    diverged: frozenset[int] = field(default_factory=frozenset)
+    #: In MMR configurations, the ID of the erring CPU (None in DMR).
+    erring_cpu: int | None = None
+
+
+class LockstepChecker:
+    """Cycle-by-cycle comparator for two output port vectors (DMR).
+
+    Once an error is latched, further comparisons are ignored until
+    :meth:`reset` — exactly like hardware, where the checker stops the
+    CPUs and holds the DSR for the error handler to read.
+    """
+
+    def __init__(self) -> None:
+        self.state = CheckerState()
+        self._cycle = 0
+
+    def reset(self) -> None:
+        """Clear the latched error and the DSR."""
+        self.state = CheckerState()
+        self._cycle = 0
+
+    def compare(self, outputs_a: tuple[int, ...], outputs_b: tuple[int, ...]) -> bool:
+        """Compare one cycle's outputs; returns True if an error latched."""
+        if self.state.error:
+            return True
+        if outputs_a != outputs_b:
+            diverged = diverged_set(outputs_a, outputs_b)
+            self.state = CheckerState(
+                error=True,
+                error_cycle=self._cycle,
+                dsr=dsr_value(diverged),
+                diverged=diverged,
+            )
+            self._cycle += 1
+            return True
+        self._cycle += 1
+        return False
+
+
+class VotingChecker:
+    """Majority-voting comparator for three or more cores (MMR/TMR).
+
+    Unlike the DMR checker, the voter identifies the erring CPU: the
+    core whose outputs disagree with the per-SC majority.  The diverged
+    SC set is taken between the erring core and the voted value.
+    """
+
+    def __init__(self, n_cores: int = 3) -> None:
+        if n_cores < 3:
+            raise ValueError("voting requires at least three cores")
+        self.n_cores = n_cores
+        self.state = CheckerState()
+        self._cycle = 0
+
+    def reset(self) -> None:
+        """Clear the latched error."""
+        self.state = CheckerState()
+        self._cycle = 0
+
+    def vote(self, outputs: list[tuple[int, ...]]) -> tuple[int, ...]:
+        """Per-SC majority value across cores."""
+        voted = []
+        for sc in range(NUM_SCS):
+            values = [o[sc] for o in outputs]
+            voted.append(max(set(values), key=values.count))
+        return tuple(voted)
+
+    def compare(self, outputs: list[tuple[int, ...]]) -> bool:
+        """Compare one cycle across all cores; returns True on error."""
+        if self.state.error:
+            return True
+        if len(outputs) != self.n_cores:
+            raise ValueError(f"expected {self.n_cores} output vectors")
+        if all(o == outputs[0] for o in outputs[1:]):
+            self._cycle += 1
+            return False
+        voted = self.vote(outputs)
+        erring = None
+        worst = -1
+        for cpu_id, out in enumerate(outputs):
+            diffs = sum(1 for a, b in zip(out, voted) if a != b)
+            if diffs > worst:
+                worst = diffs
+                erring = cpu_id if diffs else erring
+        diverged = diverged_set(outputs[erring], voted)
+        self.state = CheckerState(
+            error=True,
+            error_cycle=self._cycle,
+            dsr=dsr_value(diverged),
+            diverged=diverged,
+            erring_cpu=erring,
+        )
+        self._cycle += 1
+        return True

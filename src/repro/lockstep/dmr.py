@@ -1,0 +1,89 @@
+"""Dual-modular-redundant (DMR) CPU-level lockstep processor.
+
+Two SR5 cores execute the same program from identically initialised
+state.  The caches/memory sit outside the sphere of replication, so
+each core owns a private copy of the memory image (in silicon a single
+ECC-protected memory is driven by the checked outputs; private copies
+are behaviourally equivalent because any differing store manifests on
+the output ports in the same cycle it would reach memory, which latches
+the error and stops both cores).  Inputs are replicated: both cores
+sample the same deterministic stimulus stream.
+"""
+
+from __future__ import annotations
+
+from ..cpu.assembler import Program
+from ..cpu.core import Cpu
+from ..cpu.memory import InputStream, Memory
+from .checker import CheckerState, LockstepChecker
+
+
+class DmrLockstep:
+    """A dual-core lockstep processor with a cycle-level error checker."""
+
+    def __init__(self, program: Program, stimulus: InputStream | None = None,
+                 mem_words: int | None = None):
+        kwargs = {} if mem_words is None else {"size_words": mem_words}
+        stimulus = stimulus if stimulus is not None else InputStream()
+        mem_a = Memory.from_program(program, **kwargs)
+        mem_b = Memory.from_program(program, **kwargs)
+        self.core_a = Cpu(mem_a, stimulus, entry=program.entry)
+        self.core_b = Cpu(mem_b, stimulus, entry=program.entry)
+        self.checker = LockstepChecker()
+        self.cycle = 0
+        self.stopped = False
+        #: The output vectors the checker compared in the error cycle
+        #: (held for the error handler, like frozen checker inputs).
+        self.error_outputs: tuple[tuple[int, ...], tuple[int, ...]] | None = None
+
+    @property
+    def cores(self) -> tuple[Cpu, Cpu]:
+        """Both cores (main, redundant)."""
+        return (self.core_a, self.core_b)
+
+    @property
+    def error(self) -> CheckerState:
+        """The checker's latched state."""
+        return self.checker.state
+
+    def step(self) -> bool:
+        """Advance one lockstep cycle; returns True once an error latches.
+
+        After an error the cores are stopped (the system controller
+        must reset them), so further steps are no-ops.
+        """
+        if self.stopped:
+            return self.checker.state.error
+        out_a = self.core_a.step()
+        out_b = self.core_b.step()
+        self.cycle += 1
+        if self.checker.compare(out_a, out_b):
+            self.stopped = True
+            self.error_outputs = (out_a, out_b)
+            return True
+        return False
+
+    def run(self, max_cycles: int = 1_000_000) -> CheckerState:
+        """Run until an error, both cores halt, or the cycle bound."""
+        for _ in range(max_cycles):
+            if self.stopped:
+                break
+            if self.core_a.halted and self.core_b.halted:
+                break
+            self.step()
+        return self.checker.state
+
+    def reset(self, program: Program) -> None:
+        """System-controller reset: reload and restart both cores.
+
+        This models the paper's soft error handling path: both cores
+        are brought back to the identical reset state and the real-time
+        task restarts from its outer loop.
+        """
+        for core in self.cores:
+            core.mem.words[: len(program.words)] = program.words
+            core.reset(program.entry)
+        self.checker.reset()
+        self.cycle = 0
+        self.stopped = False
+        self.error_outputs = None

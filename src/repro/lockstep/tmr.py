@@ -1,0 +1,76 @@
+"""Triple-modular-redundant (TMR) CPU-level lockstep processor.
+
+Three cores vote per signal category.  Unlike DMR the voter identifies
+the erring core, and — if the error is known (or predicted) to be soft
+— the system can *forward-recover*: the two agreeing cores keep the
+correct architectural state, the erring core is reset and re-synced,
+and execution continues without a full task restart (paper Section II
+and the TCLS reference [16]).
+"""
+
+from __future__ import annotations
+
+from ..cpu.assembler import Program
+from ..cpu.core import Cpu
+from ..cpu.memory import InputStream, Memory
+from .checker import CheckerState, VotingChecker
+
+
+class TmrLockstep:
+    """A triple-core lockstep processor with a majority-voting checker."""
+
+    def __init__(self, program: Program, stimulus: InputStream | None = None):
+        stimulus = stimulus if stimulus is not None else InputStream()
+        self.program = program
+        self.cores = tuple(
+            Cpu(Memory.from_program(program), stimulus, entry=program.entry)
+            for _ in range(3)
+        )
+        self.checker = VotingChecker(3)
+        self.cycle = 0
+        self.stopped = False
+
+    @property
+    def error(self) -> CheckerState:
+        """The voter's latched state (includes the erring CPU id)."""
+        return self.checker.state
+
+    def step(self) -> bool:
+        """Advance one lockstep cycle; returns True once an error latches."""
+        if self.stopped:
+            return self.checker.state.error
+        outs = [core.step() for core in self.cores]
+        self.cycle += 1
+        if self.checker.compare(outs):
+            self.stopped = True
+            return True
+        return False
+
+    def run(self, max_cycles: int = 1_000_000) -> CheckerState:
+        """Run until an error, all cores halt, or the cycle bound."""
+        for _ in range(max_cycles):
+            if self.stopped:
+                break
+            if all(core.halted for core in self.cores):
+                break
+            self.step()
+        return self.checker.state
+
+    def forward_recover(self) -> int:
+        """Re-sync the erring core from an agreeing core and continue.
+
+        Returns the id of the recovered core.  This models the paper's
+        MMR forward recovery: the correct architectural state is saved
+        by majority vote and restored into the erring core, bringing
+        all three back into lockstep without restarting the task.
+        """
+        state = self.checker.state
+        if not state.error or state.erring_cpu is None:
+            raise RuntimeError("no latched error to recover from")
+        erring = state.erring_cpu
+        donor = (erring + 1) % 3
+        self.cores[erring].restore(self.cores[donor].snapshot())
+        self.cores[erring].mem.words[:] = self.cores[donor].mem.words
+        self.checker.reset()
+        self.stopped = False
+        return erring

@@ -1,0 +1,161 @@
+"""Error reaction strategies: the paper's three baselines and two
+prediction models (Figure 9).
+
+Every strategy consumes one detected lockstep error and returns the
+lockstep error reaction time (LERT) it would incur: the cycles from
+error detection to the safe state.  The safe state is reached either
+when SBIST locates a hard fault (the system reports an unrecoverable
+failure) or when the error is treated as soft and the CPUs have been
+reset and the task restarted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bist.sbist import SbistEngine
+from ..core.predictor import ErrorCorrelationPredictor
+from ..faults.models import ErrorRecord, ErrorType
+from .context import ReactionContext
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """Outcome of handling one error.
+
+    Attributes:
+        lert: cycles from detection to safe state.
+        tested_units: STLs executed before reaching the safe state.
+        sbist_invoked: whether the SBIST process ran at all.
+        diagnosed_hard: whether the system concluded the error was hard.
+    """
+
+    lert: int
+    tested_units: int
+    sbist_invoked: bool
+    diagnosed_hard: bool
+
+
+class ReactionStrategy:
+    """Base class: subclasses provide the SBIST unit order policy."""
+
+    name: str = "abstract"
+
+    def react(self, record: ErrorRecord, ctx: ReactionContext) -> Reaction:
+        """Handle one error; see Figure 9a for the baseline flow."""
+        order = self.order(record, ctx)
+        return self._run_sbist(record, ctx, order, extra=0)
+
+    def order(self, record: ErrorRecord, ctx: ReactionContext) -> tuple[str, ...]:
+        """The SBIST unit test order for this error."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _run_sbist(record: ErrorRecord, ctx: ReactionContext,
+                   order: tuple[str, ...], extra: int) -> Reaction:
+        engine = SbistEngine(ctx.stl, ctx.rng)
+        faulty = record.unit_for(ctx.fine) if record.error_type is ErrorType.HARD else None
+        outcome = engine.run(order, faulty)
+        lert = extra + outcome.cycles
+        if not outcome.found:
+            # No hard fault found: the error was soft; reset and restart.
+            lert += ctx.restart(record)
+        return Reaction(lert=lert, tested_units=outcome.tested_units,
+                        sbist_invoked=True, diagnosed_hard=outcome.found)
+
+
+class BaseRandom(ReactionStrategy):
+    """Baseline: a fresh pseudo-random unit order per detected error."""
+
+    name = "base-random"
+
+    def order(self, record: ErrorRecord, ctx: ReactionContext) -> tuple[str, ...]:
+        units = ctx.stl.units
+        perm = ctx.rng.permutation(len(units))
+        return tuple(units[i] for i in perm)
+
+
+class BaseAscending(ReactionStrategy):
+    """Baseline: units in ascending order of STL latency."""
+
+    name = "base-ascending"
+
+    def order(self, record: ErrorRecord, ctx: ReactionContext) -> tuple[str, ...]:
+        return ctx.stl.ascending_order()
+
+
+class BaseManifest(ReactionStrategy):
+    """Baseline: units in descending order of manifestation rate."""
+
+    name = "base-manifest"
+
+    def order(self, record: ErrorRecord, ctx: ReactionContext) -> tuple[str, ...]:
+        return ctx.manifest_order
+
+
+class PredLocationOnly(ReactionStrategy):
+    """Location-only prediction model (Figure 9b).
+
+    Identical flow to the baselines, but the SBIST starts from the
+    most likely faulty unit according to the prediction table.  The
+    table access latency is added to the LERT.
+    """
+
+    name = "pred-location-only"
+
+    def __init__(self, predictor: ErrorCorrelationPredictor):
+        self.predictor = predictor
+
+    def order(self, record: ErrorRecord, ctx: ReactionContext) -> tuple[str, ...]:
+        predicted = self.predictor.predict(record.diverged).units
+        return SbistEngine(ctx.stl, ctx.rng).complete_order(predicted)
+
+    def react(self, record: ErrorRecord, ctx: ReactionContext) -> Reaction:
+        order = self.order(record, ctx)
+        return self._run_sbist(record, ctx, order,
+                               extra=self.predictor.access_cycles)
+
+
+class PredCombined(ReactionStrategy):
+    """Combined location and type prediction model (Figure 9c).
+
+    A predicted-soft error skips SBIST entirely: reset and restart.
+    If the error was actually hard it recurs after the restart; the
+    second error is *always* treated as hard (ignoring its type
+    prediction), and SBIST runs in the predicted order — so safety is
+    never compromised, only a bounded extra delay is paid.
+    """
+
+    name = "pred-comb"
+
+    def __init__(self, predictor: ErrorCorrelationPredictor):
+        self.predictor = predictor
+
+    def order(self, record: ErrorRecord, ctx: ReactionContext) -> tuple[str, ...]:
+        predicted = self.predictor.predict(record.diverged).units
+        return SbistEngine(ctx.stl, ctx.rng).complete_order(predicted)
+
+    def react(self, record: ErrorRecord, ctx: ReactionContext) -> Reaction:
+        access = self.predictor.access_cycles
+        prediction = self.predictor.predict(record.diverged)
+        if prediction.error_type is ErrorType.SOFT:
+            lert = access + ctx.restart(record)
+            if record.error_type is ErrorType.SOFT:
+                # Correct prediction: safe state reached by restart alone.
+                return Reaction(lert=lert, tested_units=0,
+                                sbist_invoked=False, diagnosed_hard=False)
+            # Misprediction: the stuck-at recurs after the restart; the
+            # re-manifestation costs the error's detection latency again,
+            # then SBIST runs in the predicted order.
+            lert += record.latency + access
+            sbist = self._run_sbist(record, ctx, self.order(record, ctx), extra=0)
+            return Reaction(lert=lert + sbist.lert,
+                            tested_units=sbist.tested_units,
+                            sbist_invoked=True,
+                            diagnosed_hard=sbist.diagnosed_hard)
+        return self._run_sbist(record, ctx, self.order(record, ctx), extra=access)
+
+
+def baseline_strategies() -> list[ReactionStrategy]:
+    """The paper's three baselines, in presentation order."""
+    return [BaseRandom(), BaseAscending(), BaseManifest()]

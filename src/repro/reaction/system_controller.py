@@ -1,0 +1,195 @@
+"""The safety-critical system controller: the safe-state machine.
+
+Models the paper's Figure 2 timeline end to end.  The controller owns
+a lockstep processor and walks the states::
+
+    RUNNING --error--> DETECTED --read PTAR--> PREDICTED
+        --type=soft--> RESTARTING --ok--> RUNNING
+        --type=hard--> DIAGNOSING --fault found--> FAILED (safe state)
+                                  --nothing found--> RESTARTING
+
+Error *reaction* time (detection to safe state) is statically
+provisioned for the worst case; any run-time reduction is banked as
+availability.  :class:`AvailabilityModel` turns per-error LERT into
+the paper's headline metric (a 42-65% availability increase).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bist.sbist import SbistEngine
+from ..bist.stl import StlModel
+from ..core.predictor import ErrorCorrelationPredictor
+from ..cpu.memory import InputStream
+from ..faults.models import ErrorType
+from ..lockstep.dmr import DmrLockstep
+from ..workloads.kernels import Workload
+from ..workloads.runner import build
+from .context import RESET_PENALTY_CYCLES
+
+
+class SystemState(enum.Enum):
+    """States of the safe-state machine."""
+
+    RUNNING = "running"
+    DETECTED = "detected"
+    PREDICTED = "predicted"
+    DIAGNOSING = "diagnosing"
+    RESTARTING = "restarting"
+    FAILED = "failed"          # hard fault confirmed: terminal safe state
+
+
+@dataclass
+class ReactionLogEntry:
+    """One handled error, as logged by the controller."""
+
+    cycle: int
+    dsr: frozenset
+    predicted_type: ErrorType
+    predicted_units: tuple[str, ...]
+    diagnosed_hard: bool
+    reaction_cycles: int
+
+
+@dataclass
+class SystemController:
+    """Drives a DMR lockstep processor through error handling.
+
+    Args:
+        workload: the real-time task.
+        predictor: a trained error correlation predictor (None runs
+            the worst-case baseline flow: always diagnose, ascending
+            STL order).
+        deadline_cycles: the hard deadline budget for reaching a safe
+            state; exceeding it is a safety violation (asserted).
+        seed: randomness for SBIST order completion.
+    """
+
+    workload: Workload
+    predictor: ErrorCorrelationPredictor | None = None
+    deadline_cycles: int | None = None
+    seed: int = 0
+    state: SystemState = SystemState.RUNNING
+    log: list[ReactionLogEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._program, stimulus = build(self.workload)
+        self.processor = DmrLockstep(self._program, InputStream(stimulus.values))
+        fine = self.predictor.fine if self.predictor is not None else False
+        self._stl = StlModel(fine=fine)
+        self._sbist = SbistEngine(self._stl, np.random.default_rng(self.seed))
+        self._was_soft_retry = False
+
+    # -- the machine ---------------------------------------------------------
+
+    def run_until_error_or_done(self, max_cycles: int = 1_000_000) -> SystemState:
+        """Advance the task until an error latches or it completes."""
+        if self.state is SystemState.FAILED:
+            return self.state
+        self.state = SystemState.RUNNING
+        for _ in range(max_cycles):
+            if self.processor.step():
+                self.state = SystemState.DETECTED
+                return self.state
+            cores = self.processor.cores
+            if cores[0].halted and cores[1].halted:
+                return self.state
+        return self.state
+
+    def handle_error(self, true_fault_unit: str | None) -> ReactionLogEntry:
+        """Run the full reaction flow for the latched error.
+
+        ``true_fault_unit`` is the ground truth the SBIST model needs
+        (None for a transient): which unit's STL would actually catch
+        the fault.
+        """
+        if self.state is not SystemState.DETECTED:
+            raise RuntimeError("no latched error to handle")
+        error = self.processor.error
+        reaction = 0
+
+        if self.predictor is not None:
+            prediction = self.predictor.predict(error.diverged)
+            reaction += self.predictor.access_cycles
+            order = self._sbist.complete_order(prediction.units)
+            predicted_type = prediction.error_type
+            self.state = SystemState.PREDICTED
+        else:
+            order = self._stl.ascending_order()
+            predicted_type = ErrorType.HARD  # worst-case scenario flow
+            prediction = None
+
+        diagnosed_hard = False
+        treat_as_hard = predicted_type is ErrorType.HARD or self._was_soft_retry
+        if treat_as_hard:
+            self.state = SystemState.DIAGNOSING
+            outcome = self._sbist.run(order, true_fault_unit)
+            reaction += outcome.cycles
+            diagnosed_hard = outcome.found
+        if diagnosed_hard:
+            self.state = SystemState.FAILED
+        else:
+            self.state = SystemState.RESTARTING
+            reaction += RESET_PENALTY_CYCLES
+            self._was_soft_retry = predicted_type is ErrorType.SOFT
+            self.processor.reset(self._program)
+
+        entry = ReactionLogEntry(
+            cycle=self.processor.checker.state.error_cycle or 0,
+            dsr=error.diverged,
+            predicted_type=predicted_type,
+            predicted_units=prediction.units if prediction else order,
+            diagnosed_hard=diagnosed_hard,
+            reaction_cycles=reaction,
+        )
+        self.log.append(entry)
+        if self.deadline_cycles is not None and reaction > self.deadline_cycles:
+            raise DeadlineViolation(
+                f"reaction took {reaction} cycles, deadline {self.deadline_cycles}")
+        return entry
+
+
+class DeadlineViolation(RuntimeError):
+    """Raised when a reaction misses the provisioned hard deadline."""
+
+
+@dataclass(frozen=True)
+class AvailabilityModel:
+    """System availability from error rates and reaction times.
+
+    The system is *unavailable* from error detection until the safe
+    state is reached (the LERT), so with an error arrival rate
+    ``errors_per_gigacycle`` and a mean LERT the unavailable fraction
+    is ``rate * LERT``.  The paper reports the predictor's benefit as
+    the relative reduction of that unavailability — equivalently, the
+    relative LERT reduction (its 42-65% headline).
+    """
+
+    errors_per_gigacycle: float = 10.0
+
+    def unavailability(self, mean_lert_cycles: float) -> float:
+        """Fraction of time spent reacting to errors."""
+        rate_per_cycle = self.errors_per_gigacycle / 1e9
+        return min(1.0, rate_per_cycle * mean_lert_cycles)
+
+    def availability(self, mean_lert_cycles: float) -> float:
+        """1 - unavailability."""
+        return 1.0 - self.unavailability(mean_lert_cycles)
+
+    def improvement(self, baseline_lert: float, predicted_lert: float) -> float:
+        """Relative reduction in unavailability (the paper's headline)."""
+        base = self.unavailability(baseline_lert)
+        if base == 0.0:
+            return 0.0
+        return 1.0 - self.unavailability(predicted_lert) / base
+
+    def nines(self, mean_lert_cycles: float) -> float:
+        """Availability expressed as a number of nines."""
+        unavailable = self.unavailability(mean_lert_cycles)
+        if unavailable <= 0.0:
+            return float("inf")
+        return -np.log10(unavailable)

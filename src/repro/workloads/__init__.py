@@ -1,0 +1,9 @@
+"""AutoBench-style workload kernels and the kernel runner."""
+
+from .kernels import DEFAULT_SEED, KERNELS, Workload, get_workload, workload_names
+from .runner import KernelRun, build, run_kernel
+
+__all__ = [
+    "DEFAULT_SEED", "KERNELS", "Workload", "get_workload", "workload_names",
+    "KernelRun", "build", "run_kernel",
+]

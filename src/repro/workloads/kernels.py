@@ -1,0 +1,704 @@
+"""AutoBench-style automotive workload kernels for the SR5 core.
+
+The paper drives its fault-injection study with the EEMBC AutoBench
+suite.  AutoBench is licensed, so this module provides eight kernels
+written from AutoBench's published descriptions: each one reads sensor
+inputs from the replicated input stream (``IN``), computes an
+automotive control quantity, and writes actuator outputs (``OUT``) in
+a continuously repeating outer loop — the structure the paper
+describes for tooth-to-spark.
+
+Every kernel ships with a bit-exact Python reference model, so the
+test suite can verify that the flip-flop-level core computes the same
+ordered sequence of output values as the reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+MASK32 = 0xFFFFFFFF
+
+#: Common program prologue: jump over the exception vector; the handler
+#: reports the cause on port 7 and halts (a fault-corrupted core that
+#: traps diverges visibly, like a real core signalling an abort).
+_PROLOGUE = """
+_start:
+    jal  r0, main
+.org 0x8
+handler:
+    csrr r1, 4
+    out  r1, 7
+    halt
+"""
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark kernel.
+
+    Attributes:
+        name: short kernel identifier (AutoBench-style).
+        description: what the kernel models.
+        source: SR5 assembly text.
+        stimulus: seed -> input stream values.
+        reference: stimulus values -> ordered expected OUT values.
+    """
+
+    name: str
+    description: str
+    source: str
+    stimulus: Callable[[int], list[int]]
+    reference: Callable[[list[int]], list[int]]
+
+
+# ---------------------------------------------------------------------------
+# ttsprk: tooth-to-spark (ignition timing from tooth period and load)
+# ---------------------------------------------------------------------------
+
+_TTSPRK_N = 100
+_TTSPRK_ADV = [12, 18, 25, 33, 42, 52, 63, 75, 88, 102, 117, 133, 150, 168, 187, 207]
+
+_TTSPRK_SRC = _PROLOGUE + f"""
+main:
+    addi r10, r0, 0
+    addi r11, r0, {_TTSPRK_N}
+    addi r12, r0, 0
+outer:
+    in   r1, 0            ; tooth period
+    in   r2, 0            ; engine load
+    andi r3, r2, 15
+    shli r3, r3, 2
+    ld   r4, advtab(r3)   ; spark advance
+    mul  r5, r4, r1
+    shri r5, r5, 8        ; dwell
+    sub  r6, r1, r5       ; ignition timing
+    out  r6, 0
+    add  r12, r12, r6
+    andi r12, r12, 0x1FFF
+    addi r10, r10, 1
+    bne  r10, r11, outer
+    out  r12, 1
+    halt
+advtab:
+    .word {", ".join(str(v) for v in _TTSPRK_ADV)}
+"""
+
+
+def _ttsprk_stimulus(seed: int) -> list[int]:
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(_TTSPRK_N):
+        out.append(int(rng.integers(256, 4096)))   # period
+        out.append(int(rng.integers(0, 256)))      # load
+    return out
+
+
+def _ttsprk_reference(stim: list[int]) -> list[int]:
+    outs = []
+    chk = 0
+    it = iter(stim)
+    for _ in range(_TTSPRK_N):
+        period = next(it)
+        load = next(it)
+        adv = _TTSPRK_ADV[load & 15]
+        timing = (period - ((adv * period) >> 8)) & MASK32
+        outs.append(timing)
+        chk = (chk + timing) & 0x1FFF
+    outs.append(chk)
+    return outs
+
+
+# ---------------------------------------------------------------------------
+# a2time: angle-to-time conversion for ignition scheduling
+# ---------------------------------------------------------------------------
+
+_A2TIME_N = 120
+
+_A2TIME_SRC = _PROLOGUE + f"""
+main:
+    addi r10, r0, 0
+    addi r11, r0, {_A2TIME_N}
+    addi r12, r0, 0
+outer:
+    in   r1, 0            ; crank angle
+    in   r2, 0            ; rotation period
+    mul  r3, r1, r2
+    shri r3, r3, 12       ; delay ticks
+    addi r4, r0, 4096
+    blt  r3, r4, inrange
+    sub  r3, r3, r4       ; fold into timer range
+inrange:
+    out  r3, 0
+    xor  r12, r12, r3
+    csrw r12, 2           ; mirror running signature into SCU scratch
+    addi r10, r10, 1
+    bne  r10, r11, outer
+    csrr r5, 2
+    out  r5, 1
+    halt
+"""
+
+
+def _a2time_stimulus(seed: int) -> list[int]:
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(_A2TIME_N):
+        out.append(int(rng.integers(0, 720)))      # angle (half-degrees)
+        out.append(int(rng.integers(200, 4096)))   # period
+    return out
+
+
+def _a2time_reference(stim: list[int]) -> list[int]:
+    outs = []
+    sig = 0
+    it = iter(stim)
+    for _ in range(_A2TIME_N):
+        angle = next(it)
+        period = next(it)
+        ticks = (angle * period) >> 12
+        if ticks >= 4096:
+            ticks -= 4096
+        outs.append(ticks)
+        sig ^= ticks
+    outs.append(sig)
+    return outs
+
+
+# ---------------------------------------------------------------------------
+# rspeed: road speed calculation with reciprocal table and IIR smoothing
+# ---------------------------------------------------------------------------
+
+_RSPEED_N = 100
+_RSPEED_RCP = [240, 220, 180, 140, 110, 88, 72, 60, 50, 43, 37, 32, 28, 25, 22, 20]
+
+_RSPEED_SRC = _PROLOGUE + f"""
+main:
+    addi r10, r0, 0
+    addi r11, r0, {_RSPEED_N}
+    addi r12, r0, 0
+    addi r13, r0, 0       ; smoothed speed
+outer:
+    in   r1, 0            ; wheel pulse period
+    shri r2, r1, 8
+    andi r2, r2, 15
+    shli r2, r2, 2
+    ld   r3, rcptab(r2)   ; raw speed
+    addi r5, r0, 3
+    mul  r4, r13, r5
+    add  r4, r4, r3
+    shri r13, r4, 2       ; avg = (3*avg + raw) / 4
+    out  r13, 0
+    add  r12, r12, r13
+    andi r12, r12, 0x1FFF
+    addi r10, r10, 1
+    bne  r10, r11, outer
+    out  r12, 1
+    halt
+rcptab:
+    .word {", ".join(str(v) for v in _RSPEED_RCP)}
+"""
+
+
+def _rspeed_stimulus(seed: int) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return [int(rng.integers(256, 4096)) for _ in range(_RSPEED_N)]
+
+
+def _rspeed_reference(stim: list[int]) -> list[int]:
+    outs = []
+    chk = 0
+    avg = 0
+    for period in stim[:_RSPEED_N]:
+        raw = _RSPEED_RCP[(period >> 8) & 15]
+        avg = (3 * avg + raw) >> 2
+        outs.append(avg)
+        chk = (chk + avg) & 0x1FFF
+    outs.append(chk)
+    return outs
+
+
+# ---------------------------------------------------------------------------
+# canrdr: CAN remote data request filtering and payload checksum
+# ---------------------------------------------------------------------------
+
+_CANRDR_N = 150
+_CANRDR_FILTER = 0x2A5
+
+_CANRDR_SRC = _PROLOGUE + f"""
+main:
+    addi r10, r0, 0
+    addi r11, r0, {_CANRDR_N}
+    addi r12, r0, 0
+    addi r9, r0, 0        ; accepted message buffer offset
+outer:
+    in   r1, 0            ; CAN frame word
+    shri r2, r1, 21
+    addi r3, r0, {_CANRDR_FILTER}
+    bne  r2, r3, skip
+    andi r4, r1, 0xFF     ; payload byte 0
+    shri r5, r1, 8
+    andi r5, r5, 0xFF     ; payload byte 1
+    xor  r4, r4, r5
+    shri r5, r1, 16
+    andi r5, r5, 0x1F     ; payload bits 20:16
+    xor  r4, r4, r5
+    st   r4, 0x1200(r9)
+    addi r9, r9, 4
+    out  r4, 0
+    add  r12, r12, r4
+skip:
+    addi r10, r10, 1
+    bne  r10, r11, outer
+    out  r12, 1
+    shri r9, r9, 2
+    out  r9, 2            ; number of accepted frames
+    halt
+"""
+
+
+def _canrdr_stimulus(seed: int) -> list[int]:
+    rng = np.random.default_rng(seed)
+    frames = []
+    for _ in range(_CANRDR_N):
+        payload = int(rng.integers(0, 1 << 21))
+        if rng.random() < 0.4:
+            frames.append((_CANRDR_FILTER << 21) | payload)
+        else:
+            bad_id = int(rng.integers(0, 0x7FF))
+            if bad_id == _CANRDR_FILTER:
+                bad_id ^= 1
+            frames.append((bad_id << 21) | payload)
+    return frames
+
+
+def _canrdr_reference(stim: list[int]) -> list[int]:
+    outs = []
+    chk = 0
+    accepted = 0
+    for frame in stim[:_CANRDR_N]:
+        if (frame >> 21) & 0x7FF == _CANRDR_FILTER:
+            val = (frame & 0xFF) ^ ((frame >> 8) & 0xFF) ^ ((frame >> 16) & 0x1F)
+            outs.append(val)
+            chk = (chk + val) & MASK32
+            accepted += 1
+    outs.append(chk)
+    outs.append(accepted)
+    return outs
+
+
+# ---------------------------------------------------------------------------
+# tblook: table lookup with linear interpolation (sensor linearisation)
+# ---------------------------------------------------------------------------
+
+_TBLOOK_N = 100
+_TBLOOK_TAB = [0, 60, 130, 210, 300, 400, 510, 630, 760, 900, 1050, 1210,
+               1380, 1560, 1750, 1950, 2160]
+
+_TBLOOK_SRC = _PROLOGUE + f"""
+main:
+    addi r10, r0, 0
+    addi r11, r0, {_TBLOOK_N}
+    addi r12, r0, 0
+outer:
+    in   r1, 0            ; raw sensor value
+    shri r2, r1, 8        ; segment index
+    shli r3, r2, 2
+    ld   r4, lintab(r3)   ; y0
+    addi r3, r3, 4
+    ld   r5, lintab(r3)   ; y1
+    andi r6, r1, 255      ; fraction
+    sub  r7, r5, r4
+    mul  r7, r7, r6
+    shri r7, r7, 8
+    add  r7, r7, r4       ; interpolated value
+    out  r7, 0
+    add  r12, r12, r7
+    andi r12, r12, 0x1FFF
+    addi r10, r10, 1
+    bne  r10, r11, outer
+    out  r12, 1
+    halt
+lintab:
+    .word {", ".join(str(v) for v in _TBLOOK_TAB)}
+"""
+
+
+def _tblook_stimulus(seed: int) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return [int(rng.integers(0, 4096)) for _ in range(_TBLOOK_N)]
+
+
+def _tblook_reference(stim: list[int]) -> list[int]:
+    outs = []
+    chk = 0
+    for x in stim[:_TBLOOK_N]:
+        seg = x >> 8
+        y0 = _TBLOOK_TAB[seg]
+        y1 = _TBLOOK_TAB[seg + 1]
+        y = y0 + (((y1 - y0) * (x & 255)) >> 8)
+        outs.append(y)
+        chk = (chk + y) & 0x1FFF
+    outs.append(chk)
+    return outs
+
+
+# ---------------------------------------------------------------------------
+# aifirf: 8-tap FIR filter (knock sensor conditioning)
+# ---------------------------------------------------------------------------
+
+_AIFIRF_N = 26
+_AIFIRF_CO = [9, 28, 60, 98, 98, 60, 28, 9]
+
+_AIFIRF_SRC = _PROLOGUE + f"""
+main:
+    addi r10, r0, 0
+    addi r11, r0, {_AIFIRF_N}
+    addi r12, r0, 0
+    addi r13, r0, 0       ; circular buffer index
+outer:
+    in   r1, 0            ; sample
+    shli r2, r13, 2
+    st   r1, 0x1100(r2)
+    addi r3, r0, 0        ; tap
+    addi r4, r0, 0        ; accumulator
+floop:
+    add  r5, r3, r13
+    andi r5, r5, 7
+    shli r5, r5, 2
+    ld   r6, 0x1100(r5)
+    shli r7, r3, 2
+    ld   r8, firco(r7)
+    mul  r6, r6, r8
+    add  r4, r4, r6
+    addi r3, r3, 1
+    addi r5, r0, 8
+    bne  r3, r5, floop
+    shri r4, r4, 8
+    out  r4, 0
+    addi r13, r13, 1
+    andi r13, r13, 7
+    add  r12, r12, r4
+    andi r12, r12, 0x1FFF
+    addi r10, r10, 1
+    bne  r10, r11, outer
+    out  r12, 1
+    halt
+firco:
+    .word {", ".join(str(v) for v in _AIFIRF_CO)}
+"""
+
+
+def _aifirf_stimulus(seed: int) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return [int(rng.integers(0, 4096)) for _ in range(_AIFIRF_N)]
+
+
+def _aifirf_reference(stim: list[int]) -> list[int]:
+    outs = []
+    chk = 0
+    buf = [0] * 8
+    idx = 0
+    for sample in stim[:_AIFIRF_N]:
+        buf[idx] = sample
+        acc = 0
+        for tap in range(8):
+            acc += buf[(tap + idx) & 7] * _AIFIRF_CO[tap]
+        acc >>= 8
+        outs.append(acc)
+        idx = (idx + 1) & 7
+        chk = (chk + acc) & 0x1FFF
+    outs.append(chk)
+    return outs
+
+
+# ---------------------------------------------------------------------------
+# matrix: 3x3 matrix-vector product (vehicle stability transform)
+# ---------------------------------------------------------------------------
+
+_MATRIX_N = 30
+_MATRIX_M = [19, 3, 7, 2, 23, 5, 11, 6, 17]
+
+_MATRIX_SRC = _PROLOGUE + f"""
+main:
+    addi r10, r0, 0
+    addi r11, r0, {_MATRIX_N}
+    addi r12, r0, 0
+outer:
+    in   r1, 0            ; vx
+    in   r2, 0            ; vy
+    in   r3, 0            ; vz
+    addi r4, r0, 0        ; row
+mrow:
+    shli r5, r4, 1
+    add  r5, r5, r4       ; row*3
+    shli r5, r5, 2
+    ld   r6, mat(r5)
+    mul  r6, r6, r1
+    addi r5, r5, 4
+    ld   r7, mat(r5)
+    mul  r7, r7, r2
+    add  r6, r6, r7
+    addi r5, r5, 4
+    ld   r7, mat(r5)
+    mul  r7, r7, r3
+    add  r6, r6, r7
+    shri r6, r6, 4
+    out  r6, 0
+    add  r12, r12, r6
+    andi r12, r12, 0x1FFF
+    addi r4, r4, 1
+    addi r7, r0, 3
+    bne  r4, r7, mrow
+    addi r10, r10, 1
+    bne  r10, r11, outer
+    out  r12, 1
+    halt
+mat:
+    .word {", ".join(str(v) for v in _MATRIX_M)}
+"""
+
+
+def _matrix_stimulus(seed: int) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return [int(rng.integers(0, 2048)) for _ in range(3 * _MATRIX_N)]
+
+
+def _matrix_reference(stim: list[int]) -> list[int]:
+    outs = []
+    chk = 0
+    it = iter(stim)
+    for _ in range(_MATRIX_N):
+        v = [next(it), next(it), next(it)]
+        for row in range(3):
+            acc = sum(_MATRIX_M[3 * row + c] * v[c] for c in range(3)) >> 4
+            outs.append(acc)
+            chk = (chk + acc) & 0x1FFF
+    outs.append(chk)
+    return outs
+
+
+# ---------------------------------------------------------------------------
+# puwmod: pulse-width modulation duty generation
+# ---------------------------------------------------------------------------
+
+_PUWMOD_N = 40
+
+_PUWMOD_SRC = _PROLOGUE + f"""
+main:
+    addi r10, r0, 0
+    addi r11, r0, {_PUWMOD_N}
+    addi r12, r0, 0
+outer:
+    in   r1, 0            ; duty request (0..15)
+    addi r2, r0, 0        ; tick
+    addi r3, r0, 16
+    addi r4, r0, 0        ; high ticks
+ploop:
+    bge  r2, r1, low
+    addi r4, r4, 1
+low:
+    addi r2, r2, 1
+    bne  r2, r3, ploop
+    out  r4, 0
+    add  r12, r12, r4
+    addi r10, r10, 1
+    bne  r10, r11, outer
+    out  r12, 1
+    halt
+"""
+
+
+def _puwmod_stimulus(seed: int) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return [int(rng.integers(0, 16)) for _ in range(_PUWMOD_N)]
+
+
+def _puwmod_reference(stim: list[int]) -> list[int]:
+    outs = []
+    chk = 0
+    for duty in stim[:_PUWMOD_N]:
+        high = sum(1 for tick in range(16) if tick < duty)
+        outs.append(high)
+        chk = (chk + high) & MASK32
+    outs.append(chk)
+    return outs
+
+
+# ---------------------------------------------------------------------------
+# iirflt: low-pass IIR filter (sensor signal conditioning)
+# ---------------------------------------------------------------------------
+
+_IIRFLT_N = 80
+
+_IIRFLT_SRC = _PROLOGUE + f"""
+main:
+    addi r10, r0, 0
+    addi r11, r0, {_IIRFLT_N}
+    addi r12, r0, 0
+    addi r7, r0, 0        ; x[n-1]
+    addi r8, r0, 0        ; x[n-2]
+    addi r9, r0, 0        ; y[n-1]
+outer:
+    in   r1, 0            ; x[n]
+    shli r2, r1, 1        ; 2*x
+    addi r4, r0, 3
+    mul  r3, r7, r4       ; 3*x1
+    add  r2, r2, r3
+    shli r3, r8, 1        ; 2*x2
+    add  r2, r2, r3
+    shli r3, r9, 2        ; 4*y1
+    add  r2, r2, r3
+    shri r2, r2, 4        ; y[n]
+    out  r2, 0
+    add  r8, r7, r0
+    add  r7, r1, r0
+    add  r9, r2, r0
+    add  r12, r12, r2
+    andi r12, r12, 0x1FFF
+    addi r10, r10, 1
+    bne  r10, r11, outer
+    out  r12, 1
+    halt
+"""
+
+
+def _iirflt_stimulus(seed: int) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return [int(rng.integers(0, 4096)) for _ in range(_IIRFLT_N)]
+
+
+def _iirflt_reference(stim: list[int]) -> list[int]:
+    outs = []
+    chk = 0
+    x1 = x2 = y1 = 0
+    for x in stim[:_IIRFLT_N]:
+        y = (2 * x + 3 * x1 + 2 * x2 + 4 * y1) >> 4
+        outs.append(y)
+        x2, x1, y1 = x1, x, y
+        chk = (chk + y) & 0x1FFF
+    outs.append(chk)
+    return outs
+
+
+# ---------------------------------------------------------------------------
+# idctrn: 4-point inverse-DCT-style butterfly (image/knock spectral path)
+# ---------------------------------------------------------------------------
+
+_IDCTRN_N = 40
+
+_IDCTRN_SRC = _PROLOGUE + f"""
+main:
+    addi r10, r0, 0
+    addi r11, r0, {_IDCTRN_N}
+    addi r12, r0, 0
+outer:
+    in   r1, 0            ; a
+    in   r2, 0            ; b
+    in   r3, 0            ; c
+    in   r4, 0            ; d
+    bge  r1, r4, noswap1  ; order so the differences stay non-negative
+    add  r5, r1, r0
+    add  r1, r4, r0
+    add  r4, r5, r0
+noswap1:
+    bge  r2, r3, noswap2
+    add  r5, r2, r0
+    add  r2, r3, r0
+    add  r3, r5, r0
+noswap2:
+    add  r5, r1, r4       ; s0
+    sub  r6, r1, r4       ; s1
+    add  r7, r2, r3       ; s2
+    sub  r8, r2, r3       ; s3
+    addi r9, r0, 3
+    mul  r13, r5, r9      ; 3*s0
+    shli r1, r7, 1        ; 2*s2
+    add  r13, r13, r1
+    shri r13, r13, 2      ; o0
+    out  r13, 0
+    add  r12, r12, r13
+    mul  r1, r6, r9       ; 3*s1
+    add  r1, r1, r8
+    shri r1, r1, 2        ; o1
+    out  r1, 0
+    add  r12, r12, r1
+    andi r12, r12, 0x1FFF
+    addi r10, r10, 1
+    bne  r10, r11, outer
+    out  r12, 1
+    halt
+"""
+
+
+def _idctrn_stimulus(seed: int) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return [int(rng.integers(0, 256)) for _ in range(4 * _IDCTRN_N)]
+
+
+def _idctrn_reference(stim: list[int]) -> list[int]:
+    outs = []
+    chk = 0
+    it = iter(stim)
+    for _ in range(_IDCTRN_N):
+        a, b, c, d = next(it), next(it), next(it), next(it)
+        if a < d:
+            a, d = d, a
+        if b < c:
+            b, c = c, b
+        s0, s1, s2, s3 = a + d, a - d, b + c, b - c
+        o0 = (3 * s0 + 2 * s2) >> 2
+        o1 = (3 * s1 + s3) >> 2
+        outs.append(o0)
+        chk = (chk + o0) & 0x1FFF
+        outs.append(o1)
+        chk = (chk + o1) & 0x1FFF
+    outs.append(chk)
+    return outs
+
+
+# ---------------------------------------------------------------------------
+
+KERNELS: dict[str, Workload] = {
+    w.name: w
+    for w in (
+        Workload("ttsprk", "tooth-to-spark ignition timing",
+                 _TTSPRK_SRC, _ttsprk_stimulus, _ttsprk_reference),
+        Workload("a2time", "crank angle to time conversion",
+                 _A2TIME_SRC, _a2time_stimulus, _a2time_reference),
+        Workload("rspeed", "road speed calculation",
+                 _RSPEED_SRC, _rspeed_stimulus, _rspeed_reference),
+        Workload("canrdr", "CAN remote data request handling",
+                 _CANRDR_SRC, _canrdr_stimulus, _canrdr_reference),
+        Workload("tblook", "table lookup and interpolation",
+                 _TBLOOK_SRC, _tblook_stimulus, _tblook_reference),
+        Workload("aifirf", "FIR filter for knock sensing",
+                 _AIFIRF_SRC, _aifirf_stimulus, _aifirf_reference),
+        Workload("matrix", "matrix arithmetic for stability control",
+                 _MATRIX_SRC, _matrix_stimulus, _matrix_reference),
+        Workload("puwmod", "pulse width modulation",
+                 _PUWMOD_SRC, _puwmod_stimulus, _puwmod_reference),
+        Workload("iirflt", "IIR low-pass filter",
+                 _IIRFLT_SRC, _iirflt_stimulus, _iirflt_reference),
+        Workload("idctrn", "inverse-DCT butterfly transform",
+                 _IDCTRN_SRC, _idctrn_stimulus, _idctrn_reference),
+    )
+}
+
+DEFAULT_SEED = 20180615  # MICRO 2018 submission-era date, fixed for reproducibility
+
+
+def workload_names() -> list[str]:
+    """Names of all kernels in registry order."""
+    return list(KERNELS)
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a kernel by name."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(KERNELS)}") from None

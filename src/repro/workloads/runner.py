@@ -1,0 +1,55 @@
+"""Assembling and running workload kernels on a single core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cpu.assembler import Program, assemble
+from ..cpu.core import Cpu
+from ..cpu.memory import InputStream, Memory
+from .kernels import DEFAULT_SEED, Workload
+
+
+@dataclass
+class KernelRun:
+    """Result of running one kernel to completion on one core."""
+
+    name: str
+    cycles: int
+    outputs: list[int]
+    halted: bool
+    exception: bool
+
+
+def build(workload: Workload, seed: int = DEFAULT_SEED) -> tuple[Program, InputStream]:
+    """Assemble a workload and build its replicated input stream."""
+    program = assemble(workload.source)
+    stimulus = InputStream(workload.stimulus(seed))
+    return program, stimulus
+
+
+def run_kernel(workload: Workload, seed: int = DEFAULT_SEED,
+               max_cycles: int = 200_000) -> KernelRun:
+    """Run a kernel on a fault-free core, capturing the OUT sequence.
+
+    OUT events are detected by the toggle of the core's I/O strobe
+    register, exactly as an external actuator latch would sample them.
+    """
+    program, stimulus = build(workload, seed)
+    cpu = Cpu(Memory.from_program(program), stimulus, entry=program.entry)
+    outputs: list[int] = []
+    prev_strobe = cpu.io_out_v
+    cycles = 0
+    while not cpu.halted and cycles < max_cycles:
+        cpu.step()
+        cycles += 1
+        if cpu.io_out_v != prev_strobe:
+            outputs.append(cpu.io_out)
+            prev_strobe = cpu.io_out_v
+    return KernelRun(
+        name=workload.name,
+        cycles=cycles,
+        outputs=outputs,
+        halted=bool(cpu.halted),
+        exception=bool(cpu.status & 1),
+    )

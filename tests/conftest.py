@@ -1,0 +1,73 @@
+"""Shared fixtures: small programs, golden traces and a quick campaign."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu import Cpu, InputStream, Memory, assemble
+from repro.faults import CampaignConfig, GoldenTrace, run_campaign
+from repro.workloads import KERNELS
+
+#: A minimal exception-safe program skeleton used across tests.
+PROLOGUE = """
+_start:
+    jal  r0, main
+.org 0x8
+handler:
+    csrr r1, 4
+    out  r1, 7
+    halt
+"""
+
+SUM_LOOP = PROLOGUE + """
+main:
+    addi r1, r0, 0
+    addi r2, r0, 1
+    addi r3, r0, 51
+loop:
+    add  r1, r1, r2
+    addi r2, r2, 1
+    bne  r2, r3, loop
+    out  r1, 0
+    st   r1, 0x400(r0)
+    halt
+"""
+
+
+def make_cpu(source: str, stimulus: list[int] | None = None,
+             mem_words: int = 2048) -> Cpu:
+    """Assemble a program and wrap it in a ready-to-run core."""
+    program = assemble(source)
+    mem = Memory.from_program(program, size_words=mem_words)
+    return Cpu(mem, InputStream(stimulus or [0]), entry=program.entry)
+
+
+@pytest.fixture
+def sum_cpu() -> Cpu:
+    """A core loaded with the 1..50 summing loop."""
+    return make_cpu(SUM_LOOP)
+
+
+@pytest.fixture(scope="session")
+def ttsprk_golden() -> GoldenTrace:
+    """Golden trace of the tooth-to-spark kernel (session-cached)."""
+    return GoldenTrace(KERNELS["ttsprk"])
+
+
+@pytest.fixture(scope="session")
+def quick_campaign():
+    """A seconds-scale fault-injection campaign (session-cached)."""
+    return run_campaign(CampaignConfig.quick())
+
+
+@pytest.fixture(scope="session")
+def medium_campaign():
+    """A slightly larger campaign for evaluation-level tests."""
+    config = CampaignConfig(
+        benchmarks=("ttsprk", "puwmod"),
+        soft_per_flop=1,
+        hard_per_flop=1,
+        flop_fraction=0.12,
+        max_observe=800,
+    )
+    return run_campaign(config)

@@ -1,0 +1,180 @@
+"""Assembler unit tests."""
+
+import pytest
+
+from repro.cpu.assembler import AssemblerError, assemble
+from repro.cpu.isa import Op, decode
+
+
+class TestBasics:
+    def test_single_instruction(self):
+        prog = assemble("addi r1, r0, 42")
+        assert len(prog.words) == 1
+        instr = decode(prog.words[0])
+        assert (instr.op, instr.rd, instr.imm) == (Op.ADDI, 1, 42)
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("""
+        ; full line comment
+        addi r1, r0, 1   ; trailing
+        # hash comment
+
+        addi r2, r0, 2
+        """)
+        assert len(prog.words) == 2
+
+    def test_register_aliases(self):
+        prog = assemble("add sp, zero, lr")
+        instr = decode(prog.words[0])
+        assert (instr.rd, instr.ra, instr.rb) == (14, 0, 15)
+
+    def test_hex_immediates(self):
+        instr = decode(assemble("andi r1, r2, 0xFF").words[0])
+        assert instr.imm == 0xFF
+
+    def test_negative_immediates(self):
+        instr = decode(assemble("addi r1, r2, -5").words[0])
+        assert instr.imm == -5
+
+
+class TestLabels:
+    def test_forward_branch_offset(self):
+        prog = assemble("""
+            beq r1, r2, done
+            nop
+        done:
+            halt
+        """)
+        instr = decode(prog.words[0])
+        assert instr.imm == 1  # skip one word relative to next pc
+
+    def test_backward_branch_offset(self):
+        prog = assemble("""
+        loop:
+            nop
+            bne r1, r2, loop
+        """)
+        instr = decode(prog.words[1])
+        assert instr.imm == -2
+
+    def test_jal_to_label(self):
+        prog = assemble("""
+            jal lr, sub
+            halt
+        sub:
+            halt
+        """)
+        instr = decode(prog.words[0])
+        assert instr.rd == 15
+        assert instr.imm == 1
+
+    def test_entry_from_start_label(self):
+        prog = assemble("""
+            nop
+        _start:
+            halt
+        """)
+        assert prog.entry == 4
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("a:\nnop\na:\nnop")
+
+    def test_label_as_immediate_value(self):
+        prog = assemble("""
+            addi r1, r0, data
+        data:
+            .word 7
+        """)
+        assert decode(prog.words[0]).imm == 4
+        assert prog.words[1] == 7
+
+
+class TestDirectives:
+    def test_org_pads_with_zeros(self):
+        prog = assemble("""
+            nop
+        .org 0x10
+            halt
+        """)
+        assert len(prog.words) == 5
+        assert prog.words[1] == prog.words[2] == prog.words[3] == 0
+
+    def test_org_backwards_rejected(self):
+        with pytest.raises(AssemblerError, match="backwards"):
+            assemble("nop\nnop\n.org 0x0\nnop")
+
+    def test_org_unaligned_rejected(self):
+        with pytest.raises(AssemblerError, match="aligned"):
+            assemble(".org 0x2\nnop")
+
+    def test_word_list(self):
+        prog = assemble(".word 1, 2, 0x30")
+        assert prog.words == [1, 2, 0x30]
+
+    def test_word_wraps_to_32_bits(self):
+        prog = assemble(".word 0x1FFFFFFFF")
+        assert prog.words == [0xFFFFFFFF]
+
+    def test_space_reserves_zeroed_words(self):
+        prog = assemble(".space 3\n.word 9")
+        assert prog.words == [0, 0, 0, 9]
+
+
+class TestMemoryOperands:
+    def test_load_offset_base(self):
+        instr = decode(assemble("ld r1, 8(r2)").words[0])
+        assert (instr.op, instr.rd, instr.ra, instr.imm) == (Op.LD, 1, 2, 8)
+
+    def test_store_source_in_rb(self):
+        instr = decode(assemble("st r3, -4(r5)").words[0])
+        assert (instr.op, instr.rb, instr.ra, instr.imm) == (Op.ST, 3, 5, -4)
+
+    def test_label_offset(self):
+        prog = assemble("""
+            ld r1, tab(r2)
+        tab:
+            .word 5
+        """)
+        assert decode(prog.words[0]).imm == 4
+
+    def test_malformed_memory_operand(self):
+        with pytest.raises(AssemblerError, match="memory operand"):
+            assemble("ld r1, r2")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frob r1, r2, r3")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError, match="bad register"):
+            assemble("add r1, r2, r16")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="operands"):
+            assemble("add r1, r2")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as err:
+            assemble("nop\nnop\nbogus r1")
+        assert err.value.lineno == 3
+
+    def test_bad_integer(self):
+        with pytest.raises(AssemblerError, match="bad integer"):
+            assemble("addi r1, r0, twelve")
+
+
+class TestIoAndSystem:
+    def test_in_out(self):
+        prog = assemble("in r1, 3\nout r2, 5")
+        in_i = decode(prog.words[0])
+        out_i = decode(prog.words[1])
+        assert (in_i.op, in_i.rd, in_i.imm) == (Op.IN, 1, 3)
+        assert (out_i.op, out_i.rb, out_i.imm) == (Op.OUT, 2, 5)
+
+    def test_csr_ops(self):
+        prog = assemble("csrr r1, 0\ncsrw r2, 2")
+        assert decode(prog.words[0]).op == Op.CSRR
+        assert decode(prog.words[1]).op == Op.CSRW

@@ -1,0 +1,136 @@
+"""STL latency model, SBIST and LBIST engine tests."""
+
+import numpy as np
+import pytest
+
+from repro.bist import LbistEngine, SbistEngine, StlModel
+from repro.cpu.units import COARSE_UNITS, DPU, FINE_UNITS, unit_flop_counts
+
+
+class TestStlModel:
+    def test_seven_unit_latencies(self):
+        stl = StlModel()
+        assert set(stl.latencies) == set(COARSE_UNITS)
+
+    def test_thirteen_unit_latencies(self):
+        stl = StlModel(fine=True)
+        assert set(stl.latencies) == set(FINE_UNITS)
+
+    def test_latency_grows_with_complexity(self):
+        stl = StlModel()
+        counts = unit_flop_counts()
+        ordered = sorted(COARSE_UNITS, key=counts.get)
+        latencies = [stl.latency(u) for u in ordered]
+        assert latencies == sorted(latencies)
+
+    def test_dpu_has_longest_stl(self):
+        stl = StlModel()
+        assert max(stl.latencies, key=stl.latency) == DPU
+
+    def test_calibrated_to_paper_range(self):
+        """Table II: [min, mean, max] ~ [25k, 170k, 700k] cycles."""
+        lo, mean, hi = StlModel().spread()
+        assert 20_000 <= lo <= 60_000
+        assert 120_000 <= mean <= 250_000
+        assert 400_000 <= hi <= 800_000
+
+    def test_fine_sub_stls_shorter_than_parent(self):
+        coarse = StlModel()
+        fine = StlModel(fine=True)
+        dpu_subs = [u for u in FINE_UNITS if u.startswith("DPU.")]
+        for sub in dpu_subs:
+            assert fine.latency(sub) < coarse.latency(DPU)
+
+    def test_ascending_order_sorted(self):
+        stl = StlModel()
+        order = stl.ascending_order()
+        assert [stl.latency(u) for u in order] == sorted(stl.latencies.values())
+
+    def test_total_latency(self):
+        stl = StlModel()
+        assert stl.total_latency() == sum(stl.latencies.values())
+
+    def test_invalid_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            StlModel(coverage=0.0)
+        with pytest.raises(ValueError):
+            StlModel(coverage=1.5)
+
+
+class TestSbist:
+    @pytest.fixture
+    def engine(self):
+        return SbistEngine(StlModel(), np.random.default_rng(0))
+
+    def test_finds_faulty_unit(self, engine):
+        order = engine.stl.ascending_order()
+        outcome = engine.run(order, order[2])
+        assert outcome.found
+        assert outcome.faulty_unit == order[2]
+        assert outcome.tested_units == 3
+        assert outcome.cycles == sum(engine.stl.latency(u) for u in order[:3])
+
+    def test_soft_error_runs_to_completion(self, engine):
+        order = engine.stl.ascending_order()
+        outcome = engine.run(order, None)
+        assert not outcome.found
+        assert outcome.tested_units == len(order)
+        assert outcome.cycles == engine.stl.total_latency()
+
+    def test_first_unit_fault_cheapest(self, engine):
+        order = engine.stl.ascending_order()
+        outcome = engine.run(order, order[0])
+        assert outcome.cycles == engine.stl.latency(order[0])
+
+    def test_faulty_unit_not_in_order_is_missed(self, engine):
+        order = engine.stl.ascending_order()[:2]
+        outcome = engine.run(order, engine.stl.ascending_order()[-1])
+        assert not outcome.found
+        assert outcome.tested_units == 2
+
+    def test_partial_coverage_can_miss(self):
+        stl = StlModel(coverage=0.5)
+        engine = SbistEngine(stl, np.random.default_rng(0))
+        order = stl.ascending_order()
+        outcomes = [engine.run(order, order[0]).found for _ in range(200)]
+        assert 40 < sum(outcomes) < 160  # ~50% catch rate
+
+    def test_complete_order_is_permutation(self, engine):
+        prefix = ("DPU", "LSU")
+        full = engine.complete_order(prefix)
+        assert full[:2] == prefix
+        assert sorted(full) == sorted(engine.stl.units)
+
+    def test_complete_order_full_prefix_unchanged(self, engine):
+        prefix = tuple(engine.stl.units)
+        assert engine.complete_order(prefix) == prefix
+
+
+class TestLbist:
+    def test_latencies_scale_with_flops(self):
+        engine = LbistEngine()
+        counts = unit_flop_counts()
+        assert engine.latency(DPU) == max(engine.latencies.values())
+        ordered = sorted(COARSE_UNITS, key=counts.get)
+        latencies = [engine.latency(u) for u in ordered]
+        assert latencies == sorted(latencies)
+
+    def test_run_semantics_match_sbist(self):
+        engine = LbistEngine()
+        order = tuple(sorted(engine.latencies, key=engine.latency))
+        outcome = engine.run(order, order[1])
+        assert outcome.found
+        assert outcome.tested_units == 2
+
+    def test_constrained_search_is_faster(self):
+        """The paper's point: prediction constrains the scan search."""
+        engine = LbistEngine()
+        order = tuple(sorted(engine.latencies, key=engine.latency))
+        faulty = order[-1]
+        unconstrained = engine.run(order, faulty)
+        constrained = engine.run((faulty,) + order[:-1], faulty)
+        assert constrained.cycles < unconstrained.cycles
+
+    def test_fine_taxonomy(self):
+        engine = LbistEngine(fine=True)
+        assert set(engine.latencies) == set(FINE_UNITS)

@@ -1,0 +1,166 @@
+"""Campaign controller and statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import FlopRef
+from repro.cpu.units import FINE_UNITS, unit_flop_counts
+from repro.faults import (
+    CampaignConfig,
+    CampaignResult,
+    ErrorType,
+    FaultKind,
+    cached_campaign,
+    diverged_set_size_ratio,
+    manifestation_rates,
+    mean_detection_time,
+    overall_manifestation_rate,
+    rate_spread,
+    sample_flops,
+    schedule_faults,
+    table1,
+    time_spread,
+)
+
+
+class TestConfig:
+    def test_cache_key_stable(self):
+        assert CampaignConfig().cache_key() == CampaignConfig().cache_key()
+
+    def test_cache_key_sensitive_to_fields(self):
+        assert CampaignConfig(seed=1).cache_key() != CampaignConfig(seed=2).cache_key()
+
+    def test_presets_distinct(self):
+        keys = {CampaignConfig.quick().cache_key(),
+                CampaignConfig.default().cache_key(),
+                CampaignConfig.full().cache_key()}
+        assert len(keys) == 3
+
+
+class TestSampling:
+    def test_full_fraction_selects_all(self):
+        rng = np.random.default_rng(0)
+        flops = sample_flops(CampaignConfig(flop_fraction=1.0), rng)
+        assert len(flops) == sum(unit_flop_counts(fine=True).values())
+
+    def test_stratified_minimum_one_per_unit(self):
+        rng = np.random.default_rng(0)
+        flops = sample_flops(CampaignConfig(flop_fraction=0.001), rng)
+        units = {f.unit for f in flops}
+        assert units == set(FINE_UNITS)
+
+    def test_sample_reproducible_with_seed(self):
+        cfg = CampaignConfig(flop_fraction=0.1)
+        a = sample_flops(cfg, np.random.default_rng(5))
+        b = sample_flops(cfg, np.random.default_rng(5))
+        assert a == b
+
+    def test_no_duplicates(self):
+        flops = sample_flops(CampaignConfig(flop_fraction=0.5),
+                             np.random.default_rng(1))
+        assert len(set(flops)) == len(flops)
+
+
+class TestSchedule:
+    def test_fault_counts(self):
+        cfg = CampaignConfig(soft_per_flop=3, hard_per_flop=2)
+        faults = schedule_faults(FlopRef("pc", 0), 1280, cfg,
+                                 np.random.default_rng(0))
+        kinds = [f.kind for f in faults]
+        assert kinds.count(FaultKind.SOFT) == 3
+        assert kinds.count(FaultKind.STUCK0) == 2
+        assert kinds.count(FaultKind.STUCK1) == 2
+
+    def test_cycles_in_range(self):
+        cfg = CampaignConfig()
+        faults = schedule_faults(FlopRef("pc", 0), 999, cfg,
+                                 np.random.default_rng(0))
+        assert all(0 <= f.cycle < 999 for f in faults)
+
+    def test_soft_intervals_distinct(self):
+        cfg = CampaignConfig(soft_per_flop=8, intervals=64)
+        n_cycles = 6400
+        faults = schedule_faults(FlopRef("pc", 0), n_cycles, cfg,
+                                 np.random.default_rng(0))
+        soft = [f.cycle // 100 for f in faults if f.kind is FaultKind.SOFT]
+        assert len(set(soft)) == len(soft)
+
+    def test_short_run_does_not_crash(self):
+        cfg = CampaignConfig(soft_per_flop=80)
+        faults = schedule_faults(FlopRef("pc", 0), 10, cfg,
+                                 np.random.default_rng(0))
+        assert all(0 <= f.cycle < 10 for f in faults)
+
+
+class TestCampaignRun:
+    def test_quick_campaign_manifests_errors(self, quick_campaign):
+        assert quick_campaign.n_errors > 20
+        assert 0.0 < overall_manifestation_rate(quick_campaign) < 1.0
+
+    def test_injection_accounting(self, quick_campaign):
+        assert quick_campaign.n_injected == sum(quick_campaign.injected.values())
+        assert quick_campaign.n_errors <= quick_campaign.n_injected
+
+    def test_records_reference_config_benchmarks(self, quick_campaign):
+        benches = set(quick_campaign.config.benchmarks)
+        assert {r.benchmark for r in quick_campaign.records} <= benches
+
+    def test_golden_cycles_recorded(self, quick_campaign):
+        for bench in quick_campaign.config.benchmarks:
+            assert quick_campaign.golden_cycles[bench] > 100
+
+    def test_reproducible_with_seed(self, quick_campaign):
+        from repro.faults import run_campaign
+        again = run_campaign(CampaignConfig.quick())
+        assert again.n_injected == quick_campaign.n_injected
+        assert [r.diverged for r in again.records] == \
+               [r.diverged for r in quick_campaign.records]
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, quick_campaign, tmp_path):
+        path = tmp_path / "campaign.pkl"
+        quick_campaign.save(path)
+        loaded = CampaignResult.load(path)
+        assert loaded.n_injected == quick_campaign.n_injected
+        assert loaded.records[0] == quick_campaign.records[0]
+
+    def test_cached_campaign_uses_cache(self, tmp_path):
+        cfg = CampaignConfig.quick()
+        first = cached_campaign(cfg, cache_dir=tmp_path)
+        second = cached_campaign(cfg, cache_dir=tmp_path)
+        assert second.n_errors == first.n_errors
+
+    def test_load_rejects_wrong_payload(self, tmp_path):
+        import pickle
+        path = tmp_path / "bogus.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump({"not": "a campaign"}, fh)
+        with pytest.raises(TypeError):
+            CampaignResult.load(path)
+
+
+class TestStats:
+    def test_rates_bounded(self, quick_campaign):
+        for etype in (ErrorType.SOFT, ErrorType.HARD):
+            for rate in manifestation_rates(quick_campaign, etype).values():
+                assert 0.0 <= rate <= 1.0
+
+    def test_rate_spread_ordered(self, quick_campaign):
+        spread = rate_spread(quick_campaign, ErrorType.HARD)
+        assert spread.minimum <= spread.mean <= spread.maximum
+
+    def test_time_spread_ordered(self, quick_campaign):
+        spread = time_spread(quick_campaign, ErrorType.SOFT)
+        assert spread.minimum <= spread.mean <= spread.maximum
+
+    def test_table1_has_four_rows(self, quick_campaign):
+        assert len(table1(quick_campaign)) == 4
+
+    def test_mean_detection_time_positive(self, quick_campaign):
+        assert mean_detection_time(quick_campaign) >= 0.0
+
+    def test_hard_errors_diverge_more_scs(self, medium_campaign):
+        """The paper's Section III-B observation: stuck-at faults spread
+        to more SCs by detection time than transients."""
+        assert diverged_set_size_ratio(medium_campaign) > 1.0

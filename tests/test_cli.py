@@ -1,0 +1,63 @@
+"""CLI tests (fast commands only; campaign commands use the quick scale
+against a temp cache)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonesuch"])
+
+
+class TestCommands:
+    def test_kernels_lists_all(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ttsprk", "idctrn", "iirflt"):
+            assert name in out
+
+    def test_run_kernel(self, capsys):
+        assert main(["run", "puwmod"]) == 0
+        out = capsys.readouterr().out
+        assert "matches reference model: True" in out
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "rspeed"]) == 0
+        out = capsys.readouterr().out
+        assert "halt" in out
+        assert "0x0000:" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+
+    def test_campaign_quick(self, capsys, tmp_path):
+        assert main(["campaign", "--scale", "quick",
+                     "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_evaluate_quick(self, capsys, tmp_path):
+        assert main(["evaluate", "--scale", "quick",
+                     "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 11" in out
+        assert "Table III" in out
+
+    def test_evaluate_fine_topk(self, capsys, tmp_path):
+        assert main(["evaluate", "--scale", "quick", "--cache", str(tmp_path),
+                     "--fine", "--top-k", "4", "--off-chip"]) == 0
+        out = capsys.readouterr().out
+        assert "13 CPU units" in out

@@ -1,0 +1,358 @@
+"""Architectural execution tests for the SR5 core."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.core import _alu, _branch_taken
+from tests.conftest import PROLOGUE, make_cpu
+
+MASK32 = 0xFFFFFFFF
+
+
+def run(source: str, stimulus=None, max_cycles: int = 20_000):
+    cpu = make_cpu(PROLOGUE + source, stimulus)
+    cycles = cpu.run(max_cycles)
+    assert cpu.halted, "program did not halt"
+    return cpu, cycles
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        cpu, _ = run("""
+        main:
+            addi r1, r0, 100
+            addi r2, r0, 58
+            add  r3, r1, r2
+            sub  r4, r1, r2
+            halt
+        """)
+        assert cpu.reg(3) == 158
+        assert cpu.reg(4) == 42
+
+    def test_add_wraps_32_bits(self):
+        cpu, _ = run("""
+        main:
+            addi r1, r0, -1     ; sign-extends to 0xFFFFFFFF
+            addi r2, r1, 1
+            halt
+        """)
+        assert cpu.reg(1) == 0xFFFFFFFF
+        assert cpu.reg(2) == 0
+
+    def test_logic_ops(self):
+        cpu, _ = run("""
+        main:
+            addi r1, r0, 0xF0
+            addi r2, r0, 0xFF
+            and  r3, r1, r2
+            or   r4, r1, r2
+            xor  r5, r1, r2
+            halt
+        """)
+        assert cpu.reg(3) == 0xF0
+        assert cpu.reg(4) == 0xFF
+        assert cpu.reg(5) == 0x0F
+
+    def test_shifts(self):
+        cpu, _ = run("""
+        main:
+            addi r1, r0, -8
+            shli r2, r1, 1
+            shri r3, r1, 1
+            srai r4, r1, 1
+            halt
+        """)
+        assert cpu.reg(2) == (-16) & MASK32
+        assert cpu.reg(3) == ((-8) & MASK32) >> 1
+        assert cpu.reg(4) == (-4) & MASK32
+
+    def test_set_less_than(self):
+        cpu, _ = run("""
+        main:
+            addi r1, r0, -1
+            addi r2, r0, 1
+            slt  r3, r1, r2
+            sltu r4, r1, r2
+            slti r5, r1, 0
+            halt
+        """)
+        assert cpu.reg(3) == 1   # signed: -1 < 1
+        assert cpu.reg(4) == 0   # unsigned: 0xFFFFFFFF > 1
+        assert cpu.reg(5) == 1
+
+    def test_mul_and_mulh(self):
+        cpu, _ = run("""
+        main:
+            lui  r1, 4          ; 0x40000
+            addi r2, r0, 0x400
+            mul  r3, r1, r2     ; 0x10000000
+            mul  r4, r1, r1     ; 0x40000^2 = 2^36 -> low 0, high 16
+            mulh r5, r1, r1
+            halt
+        """)
+        assert cpu.reg(3) == 0x10000000
+        assert cpu.reg(4) == 0
+        assert cpu.reg(5) == 16
+
+    def test_mul_takes_two_cycles(self):
+        _, fast = run("main:\n addi r1, r0, 3\n addi r2, r0, 4\n add r3, r1, r2\n halt")
+        _, slow = run("main:\n addi r1, r0, 3\n addi r2, r0, 4\n mul r3, r1, r2\n halt")
+        assert slow == fast + 1
+
+    def test_lui(self):
+        cpu, _ = run("main:\n lui r1, 0x1234\n halt")
+        assert cpu.reg(1) == 0x12340000
+
+    def test_r0_is_hardwired_zero(self):
+        cpu, _ = run("main:\n addi r0, r0, 99\n add r1, r0, r0\n halt")
+        assert cpu.reg(0) == 0
+        assert cpu.reg(1) == 0
+
+
+class TestMemoryOps:
+    def test_word_store_load(self):
+        cpu, _ = run("""
+        main:
+            lui  r1, 0xDEAD
+            ori  r1, r1, 0x1EEF
+            st   r1, 0x500(r0)
+            ld   r2, 0x500(r0)
+            halt
+        """)
+        assert cpu.reg(2) == 0xDEAD1EEF
+
+    def test_byte_store_load(self):
+        cpu, _ = run("""
+        main:
+            addi r1, r0, 0xAB
+            stb  r1, 0x501(r0)
+            ldb  r2, 0x501(r0)
+            ld   r3, 0x500(r0)
+            halt
+        """)
+        assert cpu.reg(2) == 0xAB
+        assert cpu.reg(3) == 0xAB00
+
+    def test_store_buffer_forwarding(self):
+        """A load immediately after a store to the same word sees it."""
+        cpu, _ = run("""
+        main:
+            addi r1, r0, 777
+            st   r1, 0x600(r0)
+            ld   r2, 0x600(r0)
+            halt
+        """)
+        assert cpu.reg(2) == 777
+
+    def test_load_use_bypass(self):
+        cpu, _ = run("""
+        main:
+            addi r1, r0, 5
+            st   r1, 0x700(r0)
+            ld   r2, 0x700(r0)
+            addi r3, r2, 1
+            halt
+        """)
+        assert cpu.reg(3) == 6
+
+    def test_negative_offset(self):
+        cpu, _ = run("""
+        main:
+            addi r1, r0, 0x800
+            addi r2, r0, 31
+            st   r2, -4(r1)
+            ld   r3, 0x7FC(r0)
+            halt
+        """)
+        assert cpu.reg(3) == 31
+
+
+class TestControlFlow:
+    @pytest.mark.parametrize("op,a,b,taken", [
+        ("beq", 5, 5, True), ("beq", 5, 6, False),
+        ("bne", 5, 6, True), ("bne", 5, 5, False),
+        ("blt", -1, 1, True), ("blt", 1, -1, False),
+        ("bge", 1, -1, True), ("bge", -1, 1, False),
+        ("bltu", 1, -1, True),   # unsigned: 1 < 0xFFFFFFFF
+        ("bgeu", -1, 1, True),
+    ])
+    def test_branch_semantics(self, op, a, b, taken):
+        cpu, _ = run(f"""
+        main:
+            addi r1, r0, {a}
+            addi r2, r0, {b}
+            {op}  r1, r2, took
+            addi r3, r0, 1
+            halt
+        took:
+            addi r3, r0, 2
+            halt
+        """)
+        assert cpu.reg(3) == (2 if taken else 1)
+
+    def test_jal_links_return_address(self):
+        cpu, _ = run("""
+        main:
+            jal  lr, sub
+            addi r2, r0, 9
+            halt
+        sub:
+            addi r1, r0, 4
+            jalr r0, lr, 0
+        """)
+        assert cpu.reg(1) == 4
+        assert cpu.reg(2) == 9
+
+    def test_nested_calls(self):
+        cpu, _ = run("""
+        main:
+            jal  lr, outer
+            halt
+        outer:
+            add  r13, lr, r0
+            jal  lr, inner
+            add  lr, r13, r0
+            addi r2, r0, 20
+            jalr r0, lr, 0
+        inner:
+            addi r1, r0, 10
+            jalr r0, lr, 0
+        """)
+        assert cpu.reg(1) == 10
+        assert cpu.reg(2) == 20
+
+    def test_loop_with_btb_warmup(self):
+        cpu, _ = run("""
+        main:
+            addi r1, r0, 0
+            addi r2, r0, 0
+            addi r3, r0, 200
+        loop:
+            addi r1, r1, 2
+            addi r2, r2, 1
+            bne  r2, r3, loop
+            halt
+        """)
+        assert cpu.reg(1) == 400
+
+
+class TestExceptions:
+    def test_illegal_opcode_traps(self):
+        cpu = make_cpu(PROLOGUE + "main:\n .word 0x7C000000\n halt")
+        cpu.run(1000)
+        assert cpu.halted
+        assert cpu.cause == 1
+        assert cpu.io_out == 1  # handler reports cause on port 7
+
+    def test_misaligned_load_traps(self):
+        cpu, _ = run("""
+        main:
+            addi r1, r0, 0x501
+            ld   r2, 0(r1)
+            halt
+        """)
+        assert cpu.cause == 2
+        assert cpu.io_out == 2
+
+    def test_misaligned_store_traps(self):
+        cpu, _ = run("""
+        main:
+            addi r1, r0, 0x502
+            st   r1, 0(r1)
+            halt
+        """)
+        assert cpu.cause == 2
+
+    def test_byte_access_never_misaligned(self):
+        cpu, _ = run("""
+        main:
+            addi r1, r0, 0x503
+            stb  r1, 0(r1)
+            ldb  r2, 0(r1)
+            halt
+        """)
+        assert cpu.cause == 0
+        assert cpu.reg(2) == 0x03
+
+    def test_epc_records_faulting_pc(self):
+        cpu = make_cpu(PROLOGUE + "main:\n nop\n .word 0x7C000000\n halt")
+        cpu.run(1000)
+        symbols_main = 0x14  # prologue is 5 words
+        assert cpu.epc == symbols_main + 4
+
+
+class TestCsrAndIo:
+    def test_cycle_counter_monotonic(self):
+        cpu, _ = run("""
+        main:
+            csrr r1, 0
+            nop
+            nop
+            csrr r2, 0
+            halt
+        """)
+        assert cpu.reg(2) > cpu.reg(1)
+
+    def test_scratch_roundtrip(self):
+        cpu, _ = run("""
+        main:
+            addi r1, r0, 1234
+            csrw r1, 2
+            csrr r2, 2
+            halt
+        """)
+        assert cpu.reg(2) == 1234
+
+    def test_in_consumes_stream_in_order(self):
+        cpu, _ = run("""
+        main:
+            in r1, 0
+            in r2, 0
+            in r3, 0
+            halt
+        """, stimulus=[11, 22, 33])
+        assert (cpu.reg(1), cpu.reg(2), cpu.reg(3)) == (11, 22, 33)
+
+    def test_in_wraps_stream(self):
+        cpu, _ = run("main:\n in r1, 0\n in r2, 0\n in r3, 0\n halt", stimulus=[7, 8])
+        assert cpu.reg(3) == 7
+
+    def test_out_drives_port(self):
+        cpu, _ = run("main:\n addi r1, r0, 55\n out r1, 0\n halt")
+        assert cpu.io_out == 55
+        assert cpu.io_out_v == 1
+
+    def test_halt_freezes_state(self):
+        cpu, _ = run("main:\n addi r1, r0, 1\n halt")
+        snap = cpu.snapshot()
+        for _ in range(10):
+            cpu.step()
+        assert cpu.snapshot() == snap
+
+
+@given(a=st.integers(0, MASK32), b=st.integers(0, MASK32))
+def test_alu_add_matches_python(a, b):
+    res, carry, _ = _alu(1, a, b)
+    assert res == (a + b) & MASK32
+    assert carry == ((a + b) >> 32)
+
+
+@given(a=st.integers(0, MASK32), b=st.integers(0, MASK32))
+def test_alu_sub_matches_python(a, b):
+    res, carry, _ = _alu(2, a, b)
+    assert res == (a - b) & MASK32
+    assert carry == (1 if a >= b else 0)
+
+
+@given(a=st.integers(0, MASK32), b=st.integers(0, MASK32))
+def test_branch_unsigned_consistency(a, b):
+    assert _branch_taken(44, a, b) == (a < b)
+    assert _branch_taken(45, a, b) == (a >= b)
+    assert _branch_taken(40, a, b) == (a == b)
+
+
+@given(a=st.integers(0, MASK32), shift=st.integers(0, 31))
+def test_alu_shift_matches_python(a, shift):
+    assert _alu(6, a, shift)[0] == (a << shift) & MASK32
+    assert _alu(7, a, shift)[0] == a >> shift

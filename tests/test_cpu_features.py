@@ -1,0 +1,223 @@
+"""Tests for the configured-off safety/debug blocks (MPU, debug, IRQ,
+performance counters) — the realistic low-liveness structures whose
+faults rarely manifest."""
+
+from repro.cpu.isa import (
+    CAUSE_BKPT,
+    CAUSE_IRQ,
+    CAUSE_MPU,
+    CAUSE_WATCH,
+    CSR_CNT_BRANCH,
+    CSR_CNT_MEM,
+)
+from tests.conftest import PROLOGUE, make_cpu
+
+
+def run(source, max_cycles=2000):
+    cpu = make_cpu(PROLOGUE + source)
+    cpu.run(max_cycles)
+    assert cpu.halted
+    return cpu
+
+
+class TestMpu:
+    def test_disabled_mpu_allows_everything(self):
+        cpu = run("""
+        main:
+            addi r1, r0, 9
+            st   r1, 0x400(r0)
+            ld   r2, 0x400(r0)
+            halt
+        """)
+        assert cpu.cause == 0
+        assert cpu.reg(2) == 9
+
+    def test_deny_region_faults_on_load(self):
+        cpu = run("""
+        main:
+            addi r1, r0, 0x100
+            csrw r1, 14          ; mpu_base0
+            addi r2, r0, 0x200
+            csrw r2, 18          ; mpu_limit0
+            addi r3, r0, 3       ; enable + deny
+            csrw r3, 22
+            ld   r4, 0x180(r0)
+            halt
+        """)
+        assert cpu.cause == CAUSE_MPU
+
+    def test_deny_region_faults_on_store(self):
+        cpu = run("""
+        main:
+            addi r1, r0, 0x100
+            csrw r1, 14
+            addi r2, r0, 0x200
+            csrw r2, 18
+            addi r3, r0, 3
+            csrw r3, 22
+            st   r0, 0x1FC(r0)
+            halt
+        """)
+        assert cpu.cause == CAUSE_MPU
+
+    def test_access_outside_region_allowed(self):
+        cpu = run("""
+        main:
+            addi r1, r0, 0x100
+            csrw r1, 14
+            addi r2, r0, 0x200
+            csrw r2, 18
+            addi r3, r0, 3
+            csrw r3, 22
+            addi r4, r0, 5
+            st   r4, 0x240(r0)
+            ld   r5, 0x240(r0)
+            halt
+        """)
+        assert cpu.cause == 0
+        assert cpu.reg(5) == 5
+
+    def test_enabled_allow_region_is_transparent(self):
+        cpu = run("""
+        main:
+            addi r1, r0, 0x100
+            csrw r1, 14
+            addi r2, r0, 0x200
+            csrw r2, 18
+            addi r3, r0, 1       ; enable only, no deny
+            csrw r3, 22
+            addi r4, r0, 6
+            st   r4, 0x180(r0)
+            ld   r5, 0x180(r0)
+            halt
+        """)
+        assert cpu.cause == 0
+        assert cpu.reg(5) == 6
+
+
+class TestDebug:
+    def test_breakpoint_fires_at_configured_pc(self):
+        cpu = run("""
+        main:
+            addi r2, r0, target
+            csrw r2, 8
+            addi r3, r0, 1
+            csrw r3, 11
+            nop
+        target:
+            addi r5, r0, 99
+            halt
+        """)
+        assert cpu.cause == CAUSE_BKPT
+        assert cpu.reg(5) == 0  # breakpointed instruction never retires
+
+    def test_second_breakpoint_register(self):
+        cpu = run("""
+        main:
+            addi r2, r0, tgt
+            csrw r2, 9           ; bkpt1
+            addi r3, r0, 2       ; enable bkpt1
+            csrw r3, 11
+            nop
+        tgt:
+            addi r5, r0, 99
+            halt
+        """)
+        assert cpu.cause == CAUSE_BKPT
+
+    def test_watchpoint_fires_on_data_address(self):
+        cpu = run("""
+        main:
+            addi r2, r0, 0x640
+            csrw r2, 10          ; watch0
+            addi r3, r0, 4       ; enable watchpoint
+            csrw r3, 11
+            st   r0, 0x640(r0)
+            halt
+        """)
+        assert cpu.cause == CAUSE_WATCH
+
+    def test_disabled_breakpoint_does_not_fire(self):
+        cpu = run("""
+        main:
+            addi r2, r0, tgt
+            csrw r2, 8
+            nop
+        tgt:
+            addi r5, r0, 99
+            halt
+        """)
+        assert cpu.cause == 0
+        assert cpu.reg(5) == 99
+
+
+class TestIrq:
+    def test_pending_and_masked_interrupt_taken(self):
+        cpu = run("""
+        main:
+            addi r1, r0, 0xFF
+            csrw r1, 12
+            addi r2, r0, 1
+            csrw r2, 13
+            addi r3, r0, 7
+            halt
+        """)
+        assert cpu.cause == CAUSE_IRQ
+        assert cpu.io_out == CAUSE_IRQ
+
+    def test_unmasked_pending_ignored(self):
+        cpu = run("""
+        main:
+            addi r2, r0, 1
+            csrw r2, 13          ; pending, but mask is 0
+            addi r3, r0, 7
+            halt
+        """)
+        assert cpu.cause == 0
+        assert cpu.reg(3) == 7
+
+    def test_irq_masked_inside_handler(self):
+        """The handler completes despite the still-pending interrupt."""
+        cpu = run("""
+        main:
+            addi r1, r0, 0xFF
+            csrw r1, 12
+            csrw r1, 13
+            halt
+        """)
+        assert cpu.halted
+        assert cpu.io_out == CAUSE_IRQ
+
+
+class TestPerfCounters:
+    def test_counters_off_by_default(self):
+        cpu = run("""
+        main:
+            addi r2, r0, 0
+            addi r3, r0, 5
+        loop:
+            addi r2, r2, 1
+            st   r2, 0x400(r0)
+            bne  r2, r3, loop
+            halt
+        """)
+        assert cpu.cnt_branch == 0
+        assert cpu.cnt_mem == 0
+
+    def test_counters_count_when_enabled(self):
+        cpu = run(f"""
+        main:
+            addi r1, r0, 0x80
+            csrw r1, 1           ; STATUS: counter enable
+            addi r2, r0, 0
+            addi r3, r0, 5
+        loop:
+            addi r2, r2, 1
+            st   r2, 0x400(r0)
+            bne  r2, r3, loop
+            csrr r4, {CSR_CNT_BRANCH}
+            csrr r5, {CSR_CNT_MEM}
+            halt
+        """)
+        assert cpu.reg(4) == 5
+        assert cpu.reg(5) == 5

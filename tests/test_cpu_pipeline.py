@@ -1,0 +1,190 @@
+"""Microarchitectural tests: pipeline, BTB, snapshots, determinism."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import Cpu, InputStream, Memory, NUM_SCS, REGISTRY, assemble
+from repro.cpu.units import REG_INDEX
+from tests.conftest import PROLOGUE, SUM_LOOP, make_cpu
+
+
+class TestSnapshot:
+    def test_snapshot_covers_registry(self, sum_cpu):
+        assert len(sum_cpu.snapshot()) == len(REGISTRY)
+
+    def test_snapshot_restore_roundtrip(self, sum_cpu):
+        sum_cpu.run(40)
+        snap = sum_cpu.snapshot()
+        other = make_cpu(SUM_LOOP)
+        other.restore(snap)
+        assert other.snapshot() == snap
+
+    def test_restore_resumes_identically(self):
+        a = make_cpu(SUM_LOOP)
+        for _ in range(30):
+            a.step()
+        snap = a.snapshot()
+        b = make_cpu(SUM_LOOP)
+        b.mem.words[:] = a.mem.words
+        b.restore(snap)
+        for _ in range(50):
+            assert a.step() == b.step()
+        assert a.snapshot() == b.snapshot()
+
+    def test_reset_reaches_identical_state(self):
+        """Two freshly reset cores are bit-identical — the lockstep
+        precondition the paper stresses in Section II."""
+        a = make_cpu(SUM_LOOP)
+        b = make_cpu(SUM_LOOP)
+        assert a.snapshot() == b.snapshot()
+
+    def test_reg_index_matches_snapshot_order(self, sum_cpu):
+        sum_cpu.run(25)
+        snap = sum_cpu.snapshot()
+        assert snap[REG_INDEX["pc"]] == sum_cpu.pc
+        assert snap[REG_INDEX["rf1"]] == sum_cpu.rf1
+        assert snap[REG_INDEX["cyc"]] == sum_cpu.cyc
+
+
+class TestDeterminism:
+    def test_two_runs_produce_identical_output_traces(self):
+        def trace():
+            cpu = make_cpu(SUM_LOOP)
+            return [cpu.step() for _ in range(150)]
+        assert trace() == trace()
+
+    def test_lockstep_cores_never_diverge(self):
+        a = make_cpu(SUM_LOOP)
+        b = make_cpu(SUM_LOOP)
+        for _ in range(400):
+            assert a.step() == b.step()
+
+
+class TestOutputs:
+    def test_output_tuple_width(self, sum_cpu):
+        assert len(sum_cpu.outputs()) == NUM_SCS
+
+    def test_outputs_change_with_execution(self, sum_cpu):
+        first = sum_cpu.outputs()
+        sum_cpu.run(10)
+        assert sum_cpu.outputs() != first
+
+    def test_step_returns_pre_step_outputs(self, sum_cpu):
+        before = sum_cpu.outputs()
+        returned = sum_cpu.step()
+        assert returned == before
+
+
+class TestBtb:
+    def test_loop_speeds_up_after_btb_warmup(self):
+        """A predicted taken branch saves the two redirect bubbles."""
+        src = PROLOGUE + """
+        main:
+            addi r2, r0, 0
+            addi r3, r0, 40
+        loop:
+            addi r2, r2, 1
+            bne  r2, r3, loop
+            halt
+        """
+        cpu = make_cpu(src)
+        cycles_per_iter = []
+        last_r2 = 0
+        last_cycle = 0
+        for cycle in range(2000):
+            if cpu.halted:
+                break
+            cpu.step()
+            if cpu.reg(2) != last_r2:
+                cycles_per_iter.append(cycle - last_cycle)
+                last_r2 = cpu.reg(2)
+                last_cycle = cycle
+        warm = cycles_per_iter[5:-1]
+        cold = cycles_per_iter[1]
+        assert warm and min(warm) < cold
+
+    def test_btb_fills_on_taken_branch(self):
+        cpu = make_cpu(PROLOGUE + """
+        main:
+            addi r2, r0, 0
+            addi r3, r0, 10
+        loop:
+            addi r2, r2, 1
+            bne  r2, r3, loop
+            halt
+        """)
+        # Sample the BTB mid-loop: the final not-taken iteration correctly
+        # invalidates the entry again, so check while the loop is hot.
+        seen_valid = False
+        for _ in range(200):
+            if cpu.halted:
+                break
+            cpu.step()
+            seen_valid = seen_valid or cpu.btb_v != 0
+        assert seen_valid
+        assert cpu.btb_v == 0  # invalidated by the loop-exit misprediction
+
+    def test_wrong_btb_target_is_corrected(self):
+        """Execution is architecturally correct even when the BTB aliases
+        (a JALR returning to two different callers)."""
+        cpu = make_cpu(PROLOGUE + """
+        main:
+            jal  lr, sub
+            addi r2, r0, 1
+            jal  lr, sub
+            addi r3, r0, 1
+            halt
+        sub:
+            addi r1, r1, 1
+            jalr r0, lr, 0
+        """)
+        cpu.run(200)
+        assert cpu.halted
+        assert cpu.reg(1) == 2
+        assert cpu.reg(2) == 1
+        assert cpu.reg(3) == 1
+
+
+class TestRetirePort:
+    def test_retire_port_reports_writeback(self):
+        cpu = make_cpu(PROLOGUE + "main:\n addi r5, r0, 123\n halt")
+        seen = False
+        for _ in range(30):
+            cpu.step()
+            if cpu.ret_valid and cpu.ret_rd == 5 and cpu.ret_val == 123:
+                seen = True
+            if cpu.halted:
+                break
+        assert seen
+
+
+@settings(max_examples=30, deadline=None)
+@given(words=st.lists(st.integers(0, 0xFFFFFFFF), min_size=4, max_size=60),
+       cycles=st.integers(10, 300))
+def test_random_code_lockstep_property(words, cycles):
+    """Two identical cores stay in lockstep on *any* memory image —
+    including illegal opcodes and wild control flow.  Determinism is
+    the foundational property CPU-level lockstepping relies on."""
+    def build():
+        mem = Memory(1024)
+        mem.words[: len(words)] = [w for w in words]
+        return Cpu(mem, InputStream([3, 1, 4, 1, 5]))
+    a, b = build(), build()
+    for _ in range(cycles):
+        assert a.step() == b.step()
+    assert a.snapshot() == b.snapshot()
+
+
+@settings(max_examples=30, deadline=None)
+@given(split=st.integers(1, 120))
+def test_snapshot_restore_any_cycle_property(split):
+    """Restoring a mid-run snapshot reproduces the rest of the run."""
+    a = make_cpu(SUM_LOOP)
+    for _ in range(split):
+        a.step()
+    snap = a.snapshot()
+    b = make_cpu(SUM_LOOP)
+    b.mem.words[:] = a.mem.words
+    b.restore(snap)
+    for _ in range(40):
+        assert a.step() == b.step()

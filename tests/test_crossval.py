@@ -1,0 +1,70 @@
+"""Cross-validation split tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import kfold, train_test_split
+
+
+class TestKfold:
+    def test_partition_covers_everything(self):
+        items = list(range(23))
+        seen = []
+        for train, test in kfold(items, k=5, seed=0):
+            seen.extend(test)
+            assert sorted(train + test) == items
+        assert sorted(seen) == items
+
+    def test_no_leakage(self):
+        items = list(range(40))
+        for train, test in kfold(items, k=5, seed=1):
+            assert not set(train) & set(test)
+
+    def test_fold_sizes_balanced(self):
+        sizes = [len(test) for _, test in kfold(list(range(23)), k=5, seed=0)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic_with_seed(self):
+        items = list(range(30))
+        a = [test for _, test in kfold(items, k=5, seed=7)]
+        b = [test for _, test in kfold(items, k=5, seed=7)]
+        assert a == b
+
+    def test_different_seed_shuffles(self):
+        items = list(range(30))
+        a = [test for _, test in kfold(items, k=5, seed=1)]
+        b = [test for _, test in kfold(items, k=5, seed=2)]
+        assert a != b
+
+    def test_too_few_items_rejected(self):
+        with pytest.raises(ValueError):
+            list(kfold([1, 2], k=5))
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            list(kfold([1, 2, 3], k=1))
+
+    @given(n=st.integers(5, 60), k=st.integers(2, 5), seed=st.integers(0, 100))
+    def test_partition_property(self, n, k, seed):
+        items = list(range(n))
+        tests = [test for _, test in kfold(items, k=k, seed=seed)]
+        flat = sorted(x for fold in tests for x in fold)
+        assert flat == items
+
+
+class TestTrainTestSplit:
+    def test_split_sizes(self):
+        train, test = train_test_split(list(range(100)), test_fraction=0.2, seed=0)
+        assert len(test) == 20
+        assert len(train) == 80
+
+    def test_disjoint(self):
+        train, test = train_test_split(list(range(50)), seed=3)
+        assert not set(train) & set(test)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split([1, 2, 3], test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split([1, 2, 3], test_fraction=1.0)

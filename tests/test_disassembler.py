@@ -1,0 +1,77 @@
+"""Disassembler tests, including the reassembly round-trip oracle."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.assembler import assemble
+from repro.cpu.disassembler import disassemble, disassemble_word, format_instruction
+from repro.cpu.isa import ALU_RI_OPS, ALU_RR_OPS, BRANCH_OPS, Instruction, Op, is_legal
+from repro.workloads import KERNELS
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("source,expected", [
+        ("add r1, r2, r3", "add r1, r2, r3"),
+        ("addi r1, r2, -5", "addi r1, r2, -5"),
+        ("lui r4, 0x12", "lui r4, 0x12"),
+        ("ld r1, 8(r2)", "ld r1, 8(r2)"),
+        ("st r3, -4(r5)", "st r3, -4(r5)"),
+        ("beq r1, r2, 3", "beq r1, r2, 3"),
+        ("jal r15, 2", "jal r15, 2"),
+        ("jalr r0, r15, 0", "jalr r0, r15, 0"),
+        ("in r1, 3", "in r1, 3"),
+        ("out r2, 5", "out r2, 5"),
+        ("csrr r1, 0", "csrr r1, 0"),
+        ("csrw r2, 2", "csrw r2, 2"),
+        ("nop", "nop"),
+        ("halt", "halt"),
+    ])
+    def test_roundtrip_text(self, source, expected):
+        word = assemble(source).words[0]
+        assert disassemble_word(word) == expected
+
+    def test_illegal_word_rendered_as_data(self):
+        assert disassemble_word(0x7C000000) == ".word 0x7c000000"
+
+    def test_listing_has_addresses(self):
+        text = disassemble([0, 0xFC000000], base_addr=0x10)
+        lines = text.splitlines()
+        assert lines[0].startswith("0x0010:")
+        assert lines[1].startswith("0x0014:")
+        assert "halt" in lines[1]
+
+
+class TestReassemblyOracle:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernel_roundtrips(self, name):
+        """disassemble(assemble(kernel)) reassembles to identical words."""
+        original = assemble(KERNELS[name].source).words
+        listing = [disassemble_word(w) for w in original]
+        reassembled = assemble("\n".join(listing)).words
+        assert reassembled == original
+
+
+@given(st.sampled_from(sorted(ALU_RR_OPS | ALU_RI_OPS | BRANCH_OPS)),
+       st.integers(0, 15), st.integers(0, 15), st.integers(0, 15),
+       st.integers(-100, 100))
+def test_format_reassembles_property(op, rd, ra, rb, imm):
+    """Canonical instructions survive format -> assemble bit-exactly."""
+    if op in ALU_RR_OPS:
+        instr = Instruction(op, rd=rd, ra=ra, rb=rb)
+    elif op in ALU_RI_OPS:
+        instr = Instruction(op, rd=rd, ra=ra, imm=imm)
+    else:
+        instr = Instruction(op, ra=ra, rb=rb, imm=imm)
+    word = instr.encode()
+    line = format_instruction(instr)
+    assert assemble(line).words[0] == word
+    assert disassemble_word(word) == line
+
+
+@given(st.integers(0, 0xFFFFFFFF))
+def test_any_word_disassembles_property(word):
+    text = disassemble_word(word)
+    assert text
+    if not is_legal(word):
+        assert text.startswith(".word")

@@ -1,0 +1,121 @@
+"""End-to-end evaluation orchestration tests on real mini-campaigns."""
+
+import pytest
+
+from repro.analysis import MODEL_NAMES, evaluate_campaign, split_errors_by_benchmark, topk_sweep
+
+
+@pytest.fixture(scope="module")
+def evaluation(medium_campaign):
+    return evaluate_campaign(medium_campaign, seed=0)
+
+
+class TestEvaluationStructure:
+    def test_all_five_models_present(self, evaluation):
+        assert set(MODEL_NAMES) <= set(evaluation.strategies)
+
+    def test_every_error_evaluated_once(self, medium_campaign, evaluation):
+        for result in evaluation.strategies.values():
+            assert result.n_errors == medium_campaign.n_errors
+
+    def test_accuracies_bounded(self, evaluation):
+        assert 0.0 <= evaluation.location_accuracy <= 1.0
+        for value in evaluation.type_accuracy.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_table_size_positive(self, evaluation):
+        assert evaluation.table_bytes > 0
+        assert evaluation.n_diverged_sets > 10
+
+
+class TestPaperShape:
+    """The qualitative results of Figure 11 must hold on any healthy
+    campaign: the predictor models beat every baseline."""
+
+    def test_pred_comb_is_best(self, evaluation):
+        best = min(evaluation.strategies.values(), key=lambda s: s.mean_lert)
+        assert best.name == "pred-comb"
+
+    def test_pred_location_only_beats_baselines(self, evaluation):
+        pred = evaluation.strategies["pred-location-only"].mean_lert
+        for base in ("base-random", "base-ascending", "base-manifest"):
+            assert pred < evaluation.strategies[base].mean_lert
+
+    def test_pred_comb_tests_fewest_units(self, evaluation):
+        tested = {name: s.mean_tested_units
+                  for name, s in evaluation.strategies.items()}
+        assert tested["pred-comb"] == min(tested.values())
+
+    def test_pred_comb_skips_some_sbist(self, evaluation):
+        assert evaluation.strategies["pred-comb"].sbist_invocation_rate < 1.0
+        for base in ("base-random", "base-ascending", "base-manifest"):
+            assert evaluation.strategies[base].sbist_invocation_rate == 1.0
+        assert evaluation.sbist_reduction > 0.0
+
+    def test_type_prediction_beats_chance(self, evaluation):
+        assert evaluation.type_accuracy["overall"] > 0.5
+
+    def test_full_order_location_accuracy_is_one(self, evaluation):
+        assert evaluation.location_accuracy == 1.0
+
+
+class TestPlacement:
+    def test_off_chip_overhead_negligible(self, medium_campaign):
+        """Section V-B: moving the table off-chip costs ~0.05% LERT."""
+        on = evaluate_campaign(medium_campaign, seed=0)
+        off = evaluate_campaign(medium_campaign, seed=0, off_chip=True)
+        for model in ("pred-location-only", "pred-comb"):
+            a = on.strategies[model].mean_lert
+            b = off.strategies[model].mean_lert
+            assert b >= a
+            assert (b - a) / a < 0.005
+
+
+class TestTopKSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, medium_campaign):
+        return topk_sweep(medium_campaign, ks=[1, 3, 5, 7], seed=0)
+
+    def test_accuracy_monotone_in_k(self, sweep):
+        accs = [sweep[k].location_accuracy for k in sorted(sweep)]
+        assert all(b >= a - 1e-9 for a, b in zip(accs, accs[1:]))
+
+    def test_full_k_reaches_one(self, sweep):
+        assert sweep[7].location_accuracy == 1.0
+
+    def test_lert_improves_with_k(self, sweep):
+        """More predicted units can only help until saturation."""
+        lerts = [sweep[k].strategies["pred-comb"].mean_lert for k in sorted(sweep)]
+        assert lerts[-1] <= lerts[0]
+
+
+class TestFineTaxonomy:
+    def test_fine_evaluation_runs(self, medium_campaign):
+        ev = evaluate_campaign(medium_campaign, fine=True, seed=0)
+        assert ev.strategies["pred-comb"].mean_lert > 0
+        best = min(ev.strategies.values(), key=lambda s: s.mean_lert)
+        assert best.name == "pred-comb"
+
+    def test_fine_beats_coarse_for_prediction_models(self, medium_campaign):
+        """Section V-D: finer granularity improves prediction-model LERT
+        (shorter sub-STLs localise the fault more cheaply)."""
+        coarse = evaluate_campaign(medium_campaign, seed=0)
+        fine = evaluate_campaign(medium_campaign, fine=True, seed=0)
+        assert (fine.strategies["pred-comb"].mean_lert
+                < coarse.strategies["pred-comb"].mean_lert)
+
+
+class TestCoverageAblation:
+    def test_reduced_coverage_increases_lert(self, medium_campaign):
+        """With <100% STL coverage some hard faults escape diagnosis,
+        forcing restarts — LERT can only get worse."""
+        full = evaluate_campaign(medium_campaign, seed=0)
+        partial = evaluate_campaign(medium_campaign, seed=0, coverage=0.6)
+        assert (partial.strategies["base-ascending"].mean_lert
+                >= full.strategies["base-ascending"].mean_lert)
+
+
+def test_split_errors_by_benchmark(medium_campaign):
+    grouped = split_errors_by_benchmark(medium_campaign.records)
+    assert set(grouped) <= set(medium_campaign.config.benchmarks)
+    assert sum(len(v) for v in grouped.values()) == medium_campaign.n_errors

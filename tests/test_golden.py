@@ -1,0 +1,128 @@
+"""Golden trace tests."""
+
+import pytest
+
+from repro.cpu import Cpu, Memory
+from repro.cpu.units import REG_INDEX
+from repro.faults import GoldenTrace
+from repro.workloads import KERNELS
+
+
+class TestTrace:
+    def test_lengths_consistent(self, ttsprk_golden):
+        g = ttsprk_golden
+        assert g.n_cycles == len(g.outputs) == len(g.states)
+        assert g.state_matrix.shape == (g.n_cycles, len(g.states[0]))
+
+    def test_states_record_pre_step_state(self, ttsprk_golden):
+        g = ttsprk_golden
+        cpu = Cpu(g.memory_at(0), g.stimulus, entry=g.program.entry)
+        assert cpu.snapshot() == g.states[0]
+        out = cpu.step()
+        assert out == g.outputs[0]
+        assert cpu.snapshot() == g.states[1]
+
+    def test_replay_matches_trace_everywhere(self, ttsprk_golden):
+        g = ttsprk_golden
+        cpu = Cpu(g.memory_at(0), g.stimulus, entry=g.program.entry)
+        for t in range(0, g.n_cycles, 97):
+            # fast-forward to t
+            while cpu.cyc < t:
+                cpu.step()
+            assert cpu.snapshot() == g.states[t]
+
+    def test_non_halting_program_rejected(self):
+        from repro.workloads.kernels import Workload
+        spin = Workload("spin", "never halts", "loop:\n jal r0, loop",
+                        lambda seed: [0], lambda stim: [])
+        with pytest.raises(RuntimeError, match="did not halt"):
+            GoldenTrace(spin, max_cycles=500)
+
+
+class TestMemoryReconstruction:
+    def test_memory_at_zero_is_initial_image(self, ttsprk_golden):
+        g = ttsprk_golden
+        mem = g.memory_at(0)
+        assert mem.words[: len(g.program.words)] == g.program.words
+
+    def test_memory_at_end_matches_replayed_run(self, ttsprk_golden):
+        g = ttsprk_golden
+        cpu = Cpu(g.memory_at(0), g.stimulus, entry=g.program.entry)
+        cpu.run(g.n_cycles + 10)
+        assert g.memory_at(g.n_cycles).words == cpu.mem.words
+
+    def test_memory_at_midpoint_consistent(self, ttsprk_golden):
+        g = ttsprk_golden
+        mid = g.n_cycles // 2
+        cpu = Cpu(g.memory_at(0), g.stimulus, entry=g.program.entry)
+        for _ in range(mid):
+            cpu.step()
+        assert g.memory_at(mid).words == cpu.mem.words
+
+    def test_memory_at_returns_fresh_objects(self, ttsprk_golden):
+        a = ttsprk_golden.memory_at(5)
+        b = ttsprk_golden.memory_at(5)
+        assert a is not b
+        a.write_word(0, 999)
+        assert b.read_word(0) != 999 or b.words[0] == 999 and False
+
+
+class TestActivation:
+    def test_toggling_flop_activates_immediately(self, ttsprk_golden):
+        g = ttsprk_golden
+        # cyc bit 0 toggles every cycle: a stuck-at-0 activates within 2.
+        act = g.activation_cycle("cyc", 0, 0, 10)
+        assert act is not None and act - 10 <= 1
+
+    def test_constant_flop_never_activates(self, ttsprk_golden):
+        g = ttsprk_golden
+        # mpu_ctrl stays 0 for the whole run: stuck-at-0 never activates.
+        assert g.activation_cycle("mpu_ctrl", 0, 0, 0) is None
+
+    def test_constant_zero_flop_activates_for_stuck1(self, ttsprk_golden):
+        g = ttsprk_golden
+        assert g.activation_cycle("mpu_ctrl", 0, 1, 0) == 0
+
+    def test_activation_respects_start(self, ttsprk_golden):
+        g = ttsprk_golden
+        start = g.n_cycles - 1
+        act = g.activation_cycle("cyc", 0, 0, start)
+        assert act is None or act >= start
+
+    def test_activation_matches_state_matrix(self, ttsprk_golden):
+        g = ttsprk_golden
+        reg, bit, value = "pc", 2, 1
+        act = g.activation_cycle(reg, bit, value, 0)
+        col = g.state_matrix[:, REG_INDEX[reg]]
+        manual = next(
+            (t for t in range(g.n_cycles) if ((int(col[t]) >> bit) & 1) != value),
+            None,
+        )
+        assert act == manual
+
+
+class TestLoggingMemory:
+    def test_log_records_writes_with_cycles(self):
+        from repro.faults.golden import LoggingMemory
+        mem = LoggingMemory(16)
+        mem.now = 3
+        mem.write_word(4, 42)
+        mem.now = 7
+        mem.write_byte(0, 0xAB)
+        assert mem.log[0] == (3, 1, 42)
+        assert mem.log[1][0] == 7
+        assert mem.read_byte(0) == 0xAB
+
+    def test_reads_do_not_log(self):
+        from repro.faults.golden import LoggingMemory
+        mem = LoggingMemory(16)
+        mem.read_word(0)
+        mem.read_byte(1)
+        assert mem.log == []
+
+
+def test_all_kernels_produce_traces():
+    for name, workload in KERNELS.items():
+        g = GoldenTrace(workload, max_cycles=20_000)
+        assert g.n_cycles > 500, name
+        assert len({len(o) for o in g.outputs[:50]}) == 1

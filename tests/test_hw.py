@@ -1,0 +1,133 @@
+"""Gate-level cost model tests."""
+
+import pytest
+
+from repro.hw import (
+    CostSummary,
+    Netlist,
+    checker_netlist,
+    dual_lockstep_summary,
+    or_tree,
+    predictor_netlist,
+    r5_class_core_summary,
+    sr5_core_netlist,
+    summarize,
+    table4,
+    xor_tree,
+)
+from repro.lockstep import SIGNAL_CATEGORIES, TOTAL_PORT_SIGNALS
+
+
+class TestPrimitives:
+    def test_or_tree_counts(self):
+        assert or_tree(1) == 0
+        assert or_tree(2) == 1
+        assert or_tree(8) == 7
+
+    def test_xor_tree_counts(self):
+        assert xor_tree(4) == 3
+
+    def test_netlist_accumulates(self):
+        net = Netlist("x")
+        net.add("nand2", 10)
+        net.add("nand2", 5)
+        net.add("dff", 2)
+        assert net.cells["nand2"] == 15
+        assert net.gate_equivalents == 15 + 2 * 7.0
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(KeyError):
+            Netlist("x").add("nand97", 1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist("x").add("nand2", -1)
+
+    def test_power_scales_with_activity(self):
+        low = Netlist("a", activity=0.1)
+        high = Netlist("b", activity=0.5)
+        low.add("nand2", 100)
+        high.add("nand2", 100)
+        assert high.power > low.power
+
+    def test_merge(self):
+        a = Netlist("a")
+        a.add("dff", 3)
+        b = Netlist("b")
+        b.add("dff", 4)
+        a.merge(b)
+        assert a.cells["dff"] == 7
+
+
+class TestCheckerNetlist:
+    def test_one_comparator_per_port_signal(self):
+        net = checker_netlist(2)
+        assert net.cells["xor2"] == TOTAL_PORT_SIGNALS
+
+    def test_tmr_has_two_comparator_ranks(self):
+        assert checker_netlist(3).cells["xor2"] == 2 * TOTAL_PORT_SIGNALS
+
+    def test_or_trees_cover_every_sc(self):
+        net = checker_netlist(2)
+        expected = sum(or_tree(sc.width) for sc in SIGNAL_CATEGORIES)
+        expected += or_tree(len(SIGNAL_CATEGORIES))
+        assert net.cells["or2"] == expected
+
+
+class TestPredictorNetlist:
+    def test_dsr_flops(self):
+        net = predictor_netlist()
+        assert net.cells["dff"] == len(SIGNAL_CATEGORIES) + 11
+
+    def test_mapping_scales_with_ptar_width(self):
+        small = predictor_netlist(ptar_bits=4)
+        large = predictor_netlist(ptar_bits=12)
+        assert large.gate_equivalents > small.gate_equivalents
+
+    def test_invalid_entry_count_rejected(self):
+        with pytest.raises(ValueError):
+            predictor_netlist(n_entries=0)
+
+    def test_predictor_much_smaller_than_core(self):
+        predictor = summarize(predictor_netlist())
+        core = summarize(sr5_core_netlist())
+        assert predictor.gate_equivalents < 0.1 * core.gate_equivalents
+
+
+class TestTable4:
+    def test_r5_basis_matches_paper_magnitudes(self):
+        """Paper Table IV: 0.6%/1.8% vs dual lockstep, 1.4%/4.2% vs one CPU."""
+        rows = table4(core="r5")
+        dual, single = rows
+        assert 0.002 < dual.area_overhead < 0.02
+        assert 0.005 < dual.power_overhead < 0.03
+        assert 0.005 < single.area_overhead < 0.04
+        assert 0.01 < single.power_overhead < 0.06
+
+    def test_single_overheads_double_dual(self):
+        dual, single = table4(core="r5")
+        assert single.area_overhead == pytest.approx(
+            dual.area_overhead * 2, rel=0.1)
+
+    def test_sr5_basis_larger_but_bounded(self):
+        dual_r5 = table4(core="r5")[0]
+        dual_sr5 = table4(core="sr5")[0]
+        assert dual_sr5.area_overhead > dual_r5.area_overhead
+        assert dual_sr5.area_overhead < 0.05
+
+    def test_unknown_basis_rejected(self):
+        with pytest.raises(ValueError):
+            table4(core="m7")
+
+
+class TestSummaries:
+    def test_dual_lockstep_more_than_twice_core(self):
+        core = r5_class_core_summary()
+        dual = dual_lockstep_summary(core)
+        assert dual.gate_equivalents > 2 * core.gate_equivalents
+
+    def test_overhead_ratios(self):
+        a = CostSummary("a", 100.0, 80.0, 10.0)
+        b = CostSummary("b", 1000.0, 800.0, 100.0)
+        assert a.area_overhead_vs(b) == pytest.approx(0.1)
+        assert a.power_overhead_vs(b) == pytest.approx(0.1)

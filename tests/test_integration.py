@@ -1,0 +1,88 @@
+"""Full-stack integration tests: detect -> predict -> diagnose."""
+
+import numpy as np
+
+from repro.bist import SbistEngine, StlModel
+from repro.core import (
+    DivergenceStatusRegister,
+    PredictionTableAddressRegister,
+    train_predictor,
+)
+from repro.cpu.memory import InputStream
+from repro.faults import ErrorType
+from repro.lockstep import DmrLockstep
+from repro.workloads import KERNELS, build
+
+
+def test_error_to_prediction_to_diagnosis(quick_campaign):
+    """The complete paper flow on live hardware models: a DMR pair
+    detects a divergence, the DSR/PTAR front-end addresses the trained
+    table, and SBIST runs in the predicted order."""
+    predictor = train_predictor(quick_campaign.records)
+
+    program, stimulus = build(KERNELS["ttsprk"])
+    dmr = DmrLockstep(program, InputStream(stimulus.values))
+    for _ in range(60):
+        dmr.step()
+    dmr.core_b.imc_addr ^= 4  # upset in the redundant core's IMC
+    state = dmr.run(5000)
+    assert state.error
+
+    # Hardware front-end: capture the DSR from the checker's latched
+    # error-cycle inputs, map it through the PTAR.
+    dsr = DivergenceStatusRegister()
+    dsr.capture(*dmr.error_outputs)
+    assert dsr.as_set == state.diverged
+    ptar = PredictionTableAddressRegister(predictor.table.mapper)
+    ptar.load(dsr)
+    assert 0 <= ptar.value <= predictor.table.mapper.default_index
+
+    # Error handler: read the prediction and drive the SBIST.
+    prediction = predictor.predict(state.diverged)
+    assert prediction.units
+    engine = SbistEngine(StlModel(), np.random.default_rng(0))
+    order = engine.complete_order(prediction.units)
+    outcome = engine.run(order, None)  # transient: no hard fault to find
+    assert not outcome.found
+
+
+def test_prediction_guides_real_stuck_at_diagnosis(quick_campaign):
+    """Inject a real stuck-at, detect it in lockstep, and verify the
+    predicted order finds the right unit no slower than the default."""
+    predictor = train_predictor(quick_campaign.records)
+    program, stimulus = build(KERNELS["ttsprk"])
+    dmr = DmrLockstep(program, InputStream(stimulus.values))
+
+    # Stuck-at-1 on a PFU flop (pc bit 2) in the redundant core.
+    for _ in range(2000):
+        dmr.core_b.pc |= 4
+        if dmr.step():
+            break
+        if dmr.core_a.halted and dmr.core_b.halted:
+            break
+    assert dmr.error.error
+
+    prediction = predictor.predict(dmr.error.diverged)
+    stl = StlModel()
+    engine = SbistEngine(stl, np.random.default_rng(0))
+    order = engine.complete_order(prediction.units)
+    outcome = engine.run(order, "PFU")
+    assert outcome.found
+    assert outcome.faulty_unit == "PFU"
+
+
+def test_type_prediction_consistency(quick_campaign):
+    """Predicted types agree with the trained table's majority rule."""
+    predictor = train_predictor(quick_campaign.records)
+    agree = 0
+    for record in quick_campaign.records:
+        prediction = predictor.predict_record(record)
+        if prediction.error_type is record.error_type:
+            agree += 1
+    # In-sample majority voting must beat chance comfortably.
+    assert agree / len(quick_campaign.records) > 0.5
+
+
+def test_campaign_types_cover_both_classes(quick_campaign):
+    types = {r.error_type for r in quick_campaign.records}
+    assert types == {ErrorType.SOFT, ErrorType.HARD}

@@ -1,0 +1,121 @@
+"""ISA encoding/decoding unit tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.isa import (
+    ALU_RI_OPS,
+    ALU_RR_OPS,
+    BRANCH_OPS,
+    NUM_REGS,
+    VALID_OPCODES,
+    EncodingError,
+    Instruction,
+    Op,
+    decode,
+    is_legal,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestFieldHelpers:
+    def test_to_signed_positive(self):
+        assert to_signed(5, 14) == 5
+
+    def test_to_signed_negative(self):
+        assert to_signed(0x3FFF, 14) == -1
+
+    def test_to_signed_min(self):
+        assert to_signed(0x2000, 14) == -8192
+
+    def test_to_unsigned_roundtrip_negative(self):
+        assert to_signed(to_unsigned(-123, 14), 14) == -123
+
+    def test_to_unsigned_overflow_raises(self):
+        with pytest.raises(EncodingError):
+            to_unsigned(8192, 14)
+
+    def test_to_unsigned_underflow_raises(self):
+        with pytest.raises(EncodingError):
+            to_unsigned(-8193, 14)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("op", sorted(ALU_RR_OPS))
+    def test_rr_roundtrip(self, op):
+        instr = Instruction(op, rd=3, ra=7, rb=12)
+        back = decode(instr.encode())
+        assert (back.op, back.rd, back.ra, back.rb) == (op, 3, 7, 12)
+
+    @pytest.mark.parametrize("op", sorted(ALU_RI_OPS))
+    def test_ri_roundtrip(self, op):
+        instr = Instruction(op, rd=1, ra=2, imm=-100)
+        back = decode(instr.encode())
+        assert (back.op, back.rd, back.ra, back.imm) == (op, 1, 2, -100)
+
+    @pytest.mark.parametrize("op", sorted(BRANCH_OPS))
+    def test_branch_roundtrip(self, op):
+        instr = Instruction(op, ra=4, rb=5, imm=-42)
+        back = decode(instr.encode())
+        assert (back.op, back.ra, back.rb, back.imm) == (op, 4, 5, -42)
+
+    def test_lui_keeps_16_bit_immediate(self):
+        back = decode(Instruction(Op.LUI, rd=9, imm=0xBEEF).encode())
+        assert (back.op, back.rd, back.imm) == (Op.LUI, 9, 0xBEEF)
+
+    def test_lui_immediate_overflow(self):
+        with pytest.raises(EncodingError):
+            Instruction(Op.LUI, rd=1, imm=0x10000).encode()
+
+    def test_jal_wide_offset(self):
+        back = decode(Instruction(Op.JAL, rd=15, imm=-70000).encode())
+        assert (back.op, back.rd, back.imm) == (Op.JAL, 15, -70000)
+
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodingError):
+            Instruction(Op.ADD, rd=16).encode()
+
+    def test_halt_and_nop(self):
+        assert decode(Instruction(Op.HALT).encode()).op == Op.HALT
+        assert decode(Instruction(Op.NOP).encode()).op == Op.NOP
+
+
+class TestLegality:
+    def test_all_declared_opcodes_legal(self):
+        for opnum in VALID_OPCODES:
+            assert is_legal(opnum << 26)
+
+    def test_undeclared_opcode_illegal(self):
+        gaps = set(range(64)) - VALID_OPCODES
+        assert gaps, "opcode space should have illegal gaps"
+        for opnum in gaps:
+            assert not is_legal(opnum << 26)
+
+
+@given(
+    op=st.sampled_from(sorted(ALU_RR_OPS | ALU_RI_OPS | BRANCH_OPS)),
+    rd=st.integers(0, NUM_REGS - 1),
+    ra=st.integers(0, NUM_REGS - 1),
+    rb=st.integers(0, NUM_REGS - 1),
+    imm=st.integers(-8192, 8191),
+)
+def test_roundtrip_property(op, rd, ra, rb, imm):
+    """Any well-formed instruction survives encode/decode unchanged."""
+    instr = Instruction(op, rd=rd, ra=ra, rb=rb, imm=imm)
+    back = decode(instr.encode())
+    assert back.op == op
+    assert back.imm == imm
+    assert (back.ra, back.rb) == (ra, rb)
+
+
+@given(word=st.integers(0, 0xFFFFFFFF))
+def test_decode_never_crashes_on_legal(word):
+    """Decoding any word with a legal opcode yields in-range fields."""
+    if not is_legal(word):
+        return
+    instr = decode(word)
+    assert 0 <= instr.rd < NUM_REGS
+    assert 0 <= instr.ra < NUM_REGS
+    assert 0 <= instr.rb < NUM_REGS

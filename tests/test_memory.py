@@ -1,0 +1,111 @@
+"""Memory and input stream tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.assembler import assemble
+from repro.cpu.memory import InputStream, Memory, MemoryError_
+
+
+class TestWordAccess:
+    def test_write_read(self):
+        mem = Memory(64)
+        mem.write_word(8, 0xCAFEBABE)
+        assert mem.read_word(8) == 0xCAFEBABE
+
+    def test_word_select_ignores_low_bits(self):
+        mem = Memory(64)
+        mem.write_word(8, 123)
+        assert mem.read_word(9) == 123
+        assert mem.read_word(11) == 123
+
+    def test_wraps_address_space(self):
+        mem = Memory(16)
+        mem.write_word(16 * 4, 7)  # wraps to word 0
+        assert mem.read_word(0) == 7
+
+    def test_write_masks_to_32_bits(self):
+        mem = Memory(16)
+        mem.write_word(0, 0x1_0000_0005)
+        assert mem.read_word(0) == 5
+
+
+class TestByteAccess:
+    def test_little_endian_lanes(self):
+        mem = Memory(16)
+        mem.write_word(0, 0x44332211)
+        assert [mem.read_byte(i) for i in range(4)] == [0x11, 0x22, 0x33, 0x44]
+
+    def test_byte_write_preserves_other_lanes(self):
+        mem = Memory(16)
+        mem.write_word(0, 0x44332211)
+        mem.write_byte(2, 0xAA)
+        assert mem.read_word(0) == 0x44AA2211
+
+    def test_byte_write_masks_value(self):
+        mem = Memory(16)
+        mem.write_byte(0, 0x1FF)
+        assert mem.read_byte(0) == 0xFF
+
+
+class TestProgramLoading:
+    def test_from_program(self):
+        prog = assemble(".word 1, 2, 3")
+        mem = Memory.from_program(prog, size_words=16)
+        assert mem.words[:3] == [1, 2, 3]
+        assert mem.words[3] == 0
+
+    def test_program_too_large(self):
+        prog = assemble(".space 32")
+        with pytest.raises(MemoryError_):
+            Memory.from_program(prog, size_words=16)
+
+    def test_copy_is_independent(self):
+        mem = Memory(16)
+        mem.write_word(0, 1)
+        clone = mem.copy()
+        clone.write_word(0, 2)
+        assert mem.read_word(0) == 1
+        assert clone.read_word(0) == 2
+
+
+class TestInputStream:
+    def test_samples_in_order(self):
+        stream = InputStream([10, 20, 30])
+        assert [stream.sample(i) for i in range(3)] == [10, 20, 30]
+
+    def test_wraps(self):
+        stream = InputStream([10, 20])
+        assert stream.sample(2) == 10
+        assert stream.sample(5) == 20
+
+    def test_empty_stream_defaults_to_zero(self):
+        assert InputStream([]).sample(0) == 0
+        assert InputStream().sample(99) == 0
+
+    def test_values_masked_to_32_bits(self):
+        assert InputStream([0x1_0000_0001]).sample(0) == 1
+
+
+@given(addr=st.integers(0, 0xFFFFFFFF), value=st.integers(0, 0xFFFFFFFF))
+def test_word_roundtrip_property(addr, value):
+    mem = Memory(256)
+    mem.write_word(addr, value)
+    assert mem.read_word(addr) == value
+
+
+@given(addr=st.integers(0, 1023), value=st.integers(0, 255))
+def test_byte_roundtrip_property(addr, value):
+    mem = Memory(256)
+    mem.write_byte(addr, value)
+    assert mem.read_byte(addr) == value
+
+
+@given(addr=st.integers(0, 1020), word=st.integers(0, 0xFFFFFFFF))
+def test_bytes_reassemble_word_property(addr, word):
+    mem = Memory(256)
+    base = addr & ~3
+    mem.write_word(base, word)
+    reassembled = sum(mem.read_byte(base + i) << (8 * i) for i in range(4))
+    assert reassembled == word

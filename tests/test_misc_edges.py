@@ -1,0 +1,93 @@
+"""Edge-case coverage across small public surfaces."""
+
+import pytest
+
+from repro.cpu import FlopRef
+from repro.faults import ErrorRecord, ErrorType, Fault, FaultKind, error_type_of
+from repro.faults.stats import Spread
+
+
+class TestFaultModels:
+    def test_error_type_of(self):
+        assert error_type_of(FaultKind.SOFT) is ErrorType.SOFT
+        assert error_type_of(FaultKind.STUCK0) is ErrorType.HARD
+        assert error_type_of(FaultKind.STUCK1) is ErrorType.HARD
+
+    def test_kind_is_hard(self):
+        assert not FaultKind.SOFT.is_hard
+        assert FaultKind.STUCK0.is_hard and FaultKind.STUCK1.is_hard
+
+    def test_record_latency_and_units(self):
+        record = ErrorRecord(benchmark="x", flop=FlopRef("rf3", 7),
+                             kind=FaultKind.STUCK1, inject_cycle=10,
+                             detect_cycle=42, diverged=frozenset({1}))
+        assert record.latency == 32
+        assert record.unit == "DPU.RF"
+        assert record.coarse_unit == "DPU"
+        assert record.unit_for(fine=True) == "DPU.RF"
+        assert record.unit_for(fine=False) == "DPU"
+
+    def test_faults_hashable(self):
+        a = Fault(FlopRef("pc", 0), FaultKind.SOFT, 5)
+        b = Fault(FlopRef("pc", 0), FaultKind.SOFT, 5)
+        assert a == b and len({a, b}) == 1
+
+
+class TestSpread:
+    def test_as_row_formats(self):
+        spread = Spread(1.0, 2.5, 9.0)
+        assert spread.as_row("{:.1f}") == "[1.0, 2.5, 9.0]"
+
+    def test_percent_format(self):
+        spread = Spread(0.01, 0.5, 0.99)
+        assert spread.as_row("{:.0%}") == "[1%, 50%, 99%]"
+
+
+class TestPredictorEdges:
+    def test_empty_training_gives_pure_default(self):
+        from repro.core import train_predictor
+        predictor = train_predictor([])
+        prediction = predictor.predict(frozenset({1, 2}))
+        assert prediction.from_default
+        assert prediction.error_type is ErrorType.HARD
+        assert len(predictor.table) == 1
+
+    def test_default_order_lengths(self):
+        from repro.core import default_unit_order
+        assert len(default_unit_order(False)) == 7
+        assert len(default_unit_order(True)) == 13
+
+
+class TestFiguresFine:
+    def test_figure11_chart_fine_label(self, medium_campaign):
+        from repro.analysis import evaluate_campaign
+        from repro.analysis.figures import figure11_chart
+        ev = evaluate_campaign(medium_campaign, fine=True, seed=0)
+        assert "Fig 14" in figure11_chart(ev, fine=True)
+
+
+class TestCampaignResultProps:
+    def test_counters(self, quick_campaign):
+        assert quick_campaign.n_injected > 0
+        assert quick_campaign.n_errors == len(quick_campaign.records)
+        assert quick_campaign.wall_seconds >= 0.0
+
+    def test_sampled_flops_cover_units(self, quick_campaign):
+        from repro.cpu.units import FINE_UNITS
+        assert set(quick_campaign.sampled_flops) == set(FINE_UNITS)
+
+
+class TestKernelRun:
+    def test_run_kernel_respects_cycle_bound(self):
+        from repro.workloads import KERNELS, run_kernel
+        run = run_kernel(KERNELS["ttsprk"], max_cycles=50)
+        assert run.cycles == 50
+        assert not run.halted
+
+
+class TestStlSpreadOrdering:
+    @pytest.mark.parametrize("fine", [False, True])
+    def test_spread_ordered(self, fine):
+        from repro.bist import StlModel
+        lo, mean, hi = StlModel(fine=fine).spread()
+        assert lo <= mean <= hi

@@ -1,0 +1,85 @@
+"""Report renderer tests: every paper artifact renders and carries the
+expected rows."""
+
+import pytest
+
+from repro.analysis import evaluate_campaign, topk_sweep
+from repro.analysis.reports import (
+    render_fig4_5,
+    render_fig11,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_topk,
+)
+from repro.faults.models import ErrorType
+from repro.reaction import build_context
+
+
+@pytest.fixture(scope="module")
+def evaluation(medium_campaign):
+    return evaluate_campaign(medium_campaign, seed=0)
+
+
+def test_table1_rows(medium_campaign):
+    text = render_table1(medium_campaign)
+    assert "Soft Error Manifestation Rate" in text
+    assert "Hard Error Manifestation Time" in text
+    assert "Total injected" in text
+
+
+def test_table2_rows(medium_campaign):
+    ctx = build_context(medium_campaign)
+    text = render_table2(ctx.restart_cycles)
+    assert "Prediction Table Access Time" in text
+    assert "2 (on-chip) / 100 (off-chip)" in text
+    assert "STL Latency Range (7 units)" in text
+    assert "Restart Latency Range" in text
+
+
+@pytest.mark.parametrize("etype,figure", [(ErrorType.HARD, "Fig 4"),
+                                          (ErrorType.SOFT, "Fig 5")])
+def test_fig4_5(medium_campaign, etype, figure):
+    text = render_fig4_5(medium_campaign.records, etype)
+    assert figure in text
+    assert "Average cross-unit BC" in text
+    assert text.count("BC(") >= 3
+
+
+def test_fig11(evaluation):
+    text = render_fig11(evaluation)
+    for model in ("base-random", "base-ascending", "base-manifest",
+                  "pred-location-only", "pred-comb"):
+        assert model in text
+    assert "speedups" in text
+
+
+def test_fig14_uses_fine_label(medium_campaign):
+    ev = evaluate_campaign(medium_campaign, fine=True, seed=0)
+    text = render_fig11(ev, fine=True)
+    assert "Fig 14" in text
+    assert "13 CPU units" in text
+
+
+def test_table3(evaluation):
+    text = render_table3(evaluation)
+    assert "Soft" in text and "Hard" in text and "Overall" in text
+    assert "SBIST invocations avoided" in text
+
+
+def test_topk_report(medium_campaign):
+    sweep = topk_sweep(medium_campaign, ks=[1, 7], seed=0)
+    text = render_topk(sweep)
+    assert "Figs 12/13" in text
+    assert "loc.accuracy" in text
+    lines = [line for line in text.splitlines() if line.strip().startswith(("1 ", "7 "))]
+    assert len(lines) == 2
+
+
+def test_table4_report():
+    text = render_table4(n_entries=1200, ptar_bits=11)
+    assert "Table IV" in text
+    assert "R5-class gate budget" in text
+    assert "simulated SR5 core" in text
+    assert text.count("area") >= 4

@@ -1,0 +1,127 @@
+"""Campaign-scale safety invariants.
+
+The paper's safety argument (Section IV-C.3): prediction may only
+*speed up* reaching the safe state — a misprediction must never leave
+a hard fault undiagnosed, and must never cost more than the statically
+provisioned worst case.  These tests check that for every error of a
+real campaign, under every strategy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import train_predictor
+from repro.faults import ErrorType
+from repro.reaction import (
+    PredCombined,
+    PredLocationOnly,
+    ReactionContext,
+    baseline_strategies,
+    build_context,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx(quick_campaign) -> ReactionContext:
+    return build_context(quick_campaign, seed=0)
+
+
+@pytest.fixture(scope="module")
+def strategies(quick_campaign):
+    predictor = train_predictor(quick_campaign.records)
+    return baseline_strategies() + [PredLocationOnly(predictor),
+                                    PredCombined(predictor)]
+
+
+def worst_case_budget(record, ctx: ReactionContext) -> int:
+    """The statically provisioned reaction budget: a full SBIST sweep,
+    a restart, one re-detection, and two table reads."""
+    return (2 * ctx.stl.total_latency() + 2 * ctx.restart(record)
+            + record.latency + 2 * 100)
+
+
+class TestEveryErrorEveryStrategy:
+    def test_hard_faults_always_diagnosed(self, quick_campaign, ctx, strategies):
+        """With 100% STL coverage, no strategy may miss a stuck-at."""
+        for strategy in strategies:
+            for record in quick_campaign.records:
+                reaction = strategy.react(record, ctx)
+                if record.error_type is ErrorType.HARD:
+                    assert reaction.diagnosed_hard, (strategy.name, record.flop)
+                else:
+                    assert not reaction.diagnosed_hard, (strategy.name, record.flop)
+
+    def test_reaction_time_positive_and_bounded(self, quick_campaign, ctx, strategies):
+        """Every reaction fits the provisioned worst-case budget —
+        the hard-deadline guarantee prediction must never break."""
+        for strategy in strategies:
+            for record in quick_campaign.records:
+                reaction = strategy.react(record, ctx)
+                assert reaction.lert > 0
+                assert reaction.lert <= worst_case_budget(record, ctx), \
+                    (strategy.name, record.flop, record.kind)
+
+    def test_soft_errors_always_end_in_restart(self, quick_campaign, ctx, strategies):
+        """A transient must never be escalated to a (terminal) failure."""
+        soft = [r for r in quick_campaign.records
+                if r.error_type is ErrorType.SOFT]
+        for strategy in strategies:
+            for record in soft:
+                reaction = strategy.react(record, ctx)
+                assert not reaction.diagnosed_hard
+
+    def test_tested_units_bounded_by_unit_count(self, quick_campaign, ctx, strategies):
+        n_units = len(ctx.stl.units)
+        for strategy in strategies:
+            for record in quick_campaign.records:
+                reaction = strategy.react(record, ctx)
+                assert 0 <= reaction.tested_units <= n_units
+
+
+class TestPredictionOnlyHelps:
+    def test_location_prediction_no_worse_on_hard_errors(self, quick_campaign, ctx):
+        """Averaged over the dataset, the predicted order cannot lose
+        to the *same* flow with a fixed order (same soft cost, better
+        hard ordering from the training distribution)."""
+        predictor = train_predictor(quick_campaign.records)
+        pred = PredLocationOnly(predictor)
+        hard = [r for r in quick_campaign.records
+                if r.error_type is ErrorType.HARD]
+        rng_total = {"pred": 0, "base": 0}
+        for record in hard:
+            rng_total["pred"] += pred.react(record, ctx).lert
+        for record in hard:
+            rng_total["base"] += baseline_strategies()[1].react(record, ctx).lert
+        assert rng_total["pred"] <= rng_total["base"] * 1.05
+
+    def test_mispredicted_soft_recovers_within_budget(self, quick_campaign, ctx):
+        """Hard errors whose DSR looks soft go restart -> recur ->
+        diagnose; the total must stay within the worst-case budget."""
+        predictor = train_predictor(quick_campaign.records)
+        comb = PredCombined(predictor)
+        for record in quick_campaign.records:
+            if record.error_type is not ErrorType.HARD:
+                continue
+            prediction = predictor.predict_record(record)
+            if prediction.error_type is ErrorType.HARD:
+                continue
+            reaction = comb.react(record, ctx)
+            assert reaction.diagnosed_hard
+            assert reaction.lert <= worst_case_budget(record, ctx)
+
+
+class TestDeterminism:
+    def test_non_random_strategies_are_deterministic(self, quick_campaign):
+        from repro.reaction import BaseAscending
+        ctx_a = build_context(quick_campaign, seed=1)
+        ctx_b = build_context(quick_campaign, seed=2)
+        strategy = BaseAscending()
+        for record in quick_campaign.records[:50]:
+            assert strategy.react(record, ctx_a) == strategy.react(record, ctx_b)
+
+    def test_base_random_depends_only_on_rng(self, quick_campaign):
+        from repro.reaction import BaseRandom
+        record = quick_campaign.records[0]
+        a = BaseRandom().react(record, build_context(quick_campaign, seed=9))
+        b = BaseRandom().react(record, build_context(quick_campaign, seed=9))
+        assert a == b

@@ -1,0 +1,122 @@
+"""Safe-state machine and availability model tests."""
+
+import pytest
+
+from repro.core import train_predictor
+from repro.faults import ErrorType
+from repro.reaction import (
+    AvailabilityModel,
+    DeadlineViolation,
+    SystemController,
+    SystemState,
+)
+from repro.workloads import KERNELS
+
+
+@pytest.fixture(scope="module")
+def predictor(quick_campaign):
+    return train_predictor(quick_campaign.records)
+
+
+def _force_error(controller: SystemController) -> None:
+    """Run until mid-task, then plant a guaranteed-visible upset."""
+    for _ in range(100):
+        controller.processor.step()
+    controller.processor.core_b.imc_addr ^= 2
+    state = controller.run_until_error_or_done()
+    assert state is SystemState.DETECTED
+
+
+class TestStateMachine:
+    def test_fault_free_task_completes(self, predictor):
+        controller = SystemController(KERNELS["puwmod"], predictor)
+        state = controller.run_until_error_or_done()
+        assert state is SystemState.RUNNING
+        assert not controller.log
+
+    def test_transient_goes_through_restart(self, predictor):
+        controller = SystemController(KERNELS["ttsprk"], predictor)
+        _force_error(controller)
+        entry = controller.handle_error(true_fault_unit=None)
+        assert controller.state in (SystemState.RESTARTING, SystemState.FAILED)
+        assert not entry.diagnosed_hard
+        assert entry.reaction_cycles > 0
+        # After reset the task runs to completion in lockstep.
+        final = controller.run_until_error_or_done()
+        assert final is SystemState.RUNNING
+
+    def test_hard_fault_reaches_failed_safe_state(self, predictor):
+        controller = SystemController(KERNELS["ttsprk"], predictor)
+        _force_error(controller)
+        entry = controller.handle_error(true_fault_unit="IMC")
+        if controller.state is SystemState.RESTARTING:
+            # Predicted soft: the stuck-at recurs; second error is
+            # always treated as hard (the paper's retry rule).
+            for _ in range(100):
+                controller.processor.step()
+            controller.processor.core_b.imc_addr ^= 2
+            controller.run_until_error_or_done()
+            entry = controller.handle_error(true_fault_unit="IMC")
+        assert controller.state is SystemState.FAILED
+        assert entry.diagnosed_hard
+
+    def test_failed_is_terminal(self, predictor):
+        controller = SystemController(KERNELS["ttsprk"], predictor)
+        _force_error(controller)
+        controller.handle_error(true_fault_unit="IMC")
+        if controller.state is SystemState.FAILED:
+            assert controller.run_until_error_or_done() is SystemState.FAILED
+
+    def test_handle_without_error_rejected(self, predictor):
+        controller = SystemController(KERNELS["ttsprk"], predictor)
+        with pytest.raises(RuntimeError, match="no latched error"):
+            controller.handle_error(None)
+
+    def test_baseline_controller_always_diagnoses(self):
+        controller = SystemController(KERNELS["ttsprk"], predictor=None)
+        _force_error(controller)
+        entry = controller.handle_error(true_fault_unit=None)
+        assert entry.predicted_type is ErrorType.HARD  # worst-case flow
+        assert not entry.diagnosed_hard
+
+    def test_deadline_enforced(self, predictor):
+        controller = SystemController(KERNELS["ttsprk"], predictor=None,
+                                      deadline_cycles=10)
+        _force_error(controller)
+        with pytest.raises(DeadlineViolation):
+            controller.handle_error(true_fault_unit=None)
+
+    def test_log_accumulates(self, predictor):
+        controller = SystemController(KERNELS["ttsprk"], predictor)
+        _force_error(controller)
+        controller.handle_error(None)
+        assert len(controller.log) == 1
+        assert controller.log[0].dsr
+
+
+class TestAvailabilityModel:
+    def test_availability_decreases_with_lert(self):
+        model = AvailabilityModel(errors_per_gigacycle=100)
+        assert model.availability(100_000) > model.availability(1_000_000)
+
+    def test_unavailability_formula(self):
+        model = AvailabilityModel(errors_per_gigacycle=10)
+        assert model.unavailability(1_000_000) == pytest.approx(0.01)
+
+    def test_unavailability_clamped(self):
+        model = AvailabilityModel(errors_per_gigacycle=1e9)
+        assert model.unavailability(10) == 1.0
+
+    def test_improvement_equals_lert_reduction(self):
+        """Below saturation, unavailability is linear in LERT, so the
+        availability improvement equals the paper's LERT speedup."""
+        model = AvailabilityModel()
+        assert model.improvement(1_000_000, 400_000) == pytest.approx(0.6)
+
+    def test_improvement_zero_baseline(self):
+        assert AvailabilityModel().improvement(0, 0) == 0.0
+
+    def test_nines(self):
+        model = AvailabilityModel(errors_per_gigacycle=10)
+        assert model.nines(1_000_000) == pytest.approx(2.0)
+        assert model.nines(100_000) == pytest.approx(3.0)

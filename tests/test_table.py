@@ -1,0 +1,125 @@
+"""Prediction table, address mapper and DSR/PTAR hardware model tests."""
+
+import pytest
+
+from repro.core import (
+    OFF_CHIP_ACCESS_CYCLES,
+    ON_CHIP_ACCESS_CYCLES,
+    AddressMapper,
+    DivergenceStatusRegister,
+    PredictionTable,
+    PredictionTableAddressRegister,
+    TableEntry,
+    train_predictor,
+)
+from repro.cpu import NUM_SCS
+
+
+def keys(*sets):
+    return [frozenset(s) for s in sets]
+
+
+@pytest.fixture
+def small_table():
+    entries = [
+        (frozenset({1}), TableEntry(("PFU", "DPU"), True)),
+        (frozenset({2, 3}), TableEntry(("LSU",), False)),
+    ]
+    return PredictionTable(entries, TableEntry(("PFU",), True), n_units=7)
+
+
+class TestAddressMapper:
+    def test_maps_known_keys_densely(self):
+        mapper = AddressMapper(keys({1}, {2}, {3}))
+        assert [mapper.map(frozenset({i})) for i in (1, 2, 3)] == [0, 1, 2]
+
+    def test_unknown_key_maps_to_default(self):
+        mapper = AddressMapper(keys({1}))
+        assert mapper.map(frozenset({9})) == mapper.default_index == 1
+
+    def test_ptar_bits(self):
+        assert AddressMapper(keys({1})).ptar_bits == 1
+        mapper = AddressMapper([frozenset({i}) for i in range(40)])
+        assert mapper.ptar_bits == 6  # 41 addresses fit in 6 bits
+
+    def test_paper_scale_ptar_is_11_bits(self):
+        pairs = [frozenset({i, j}) for i in range(62) for j in range(i + 1, 62)]
+        mapper = AddressMapper(pairs[:1200])
+        # ~1200 sets like the paper -> 11-bit PTAR
+        assert len(mapper) == 1200
+        assert mapper.ptar_bits == 11
+
+
+class TestPredictionTable:
+    def test_lookup_known(self, small_table):
+        assert small_table.lookup(frozenset({2, 3})).units == ("LSU",)
+
+    def test_lookup_unknown_returns_default(self, small_table):
+        entry = small_table.lookup(frozenset({60}))
+        assert entry.predict_hard
+        assert entry.units == ("PFU",)
+
+    def test_len_includes_default(self, small_table):
+        assert len(small_table) == 3
+
+    def test_unit_id_bits(self, small_table):
+        assert small_table.unit_id_bits == 3  # 7 units
+        table13 = PredictionTable([], TableEntry((), True), n_units=13)
+        assert table13.unit_id_bits == 4
+
+    def test_entry_bits_worst_case(self, small_table):
+        # widest entry has 2 units -> 2*3 + 1 type bit
+        assert small_table.entry_bits == 7
+
+    def test_size_bytes(self, small_table):
+        assert small_table.size_bytes == pytest.approx(3 * 7 / 8)
+
+    def test_placement_latencies(self, small_table):
+        assert small_table.access_cycles == ON_CHIP_ACCESS_CYCLES
+        off = small_table.placed(off_chip=True)
+        assert off.access_cycles == OFF_CHIP_ACCESS_CYCLES
+        back = off.placed(off_chip=False)
+        assert back.access_cycles == ON_CHIP_ACCESS_CYCLES
+        # placement copies share entries
+        assert off.lookup(frozenset({1})) is small_table.lookup(frozenset({1}))
+
+    def test_paper_sizing_7_units_full_order(self, medium_campaign):
+        """With all 7 units per entry: 21 location bits + 1 type bit,
+        matching the paper's 22-bit entries (Section V-B)."""
+        predictor = train_predictor(medium_campaign.records)
+        assert predictor.table.entry_bits == 22
+
+
+class TestDsrHardware:
+    def test_capture_sets_sticky_bits(self):
+        dsr = DivergenceStatusRegister()
+        a = tuple(range(NUM_SCS))
+        b = tuple(v + (i in (3, 8)) for i, v in enumerate(a))
+        dsr.capture(a, b)
+        assert dsr.as_set == frozenset({3, 8})
+
+    def test_bits_accumulate_until_reset(self):
+        dsr = DivergenceStatusRegister()
+        a = tuple(range(NUM_SCS))
+        b3 = tuple(v + (i == 3) for i, v in enumerate(a))
+        b9 = tuple(v + (i == 9) for i, v in enumerate(a))
+        dsr.capture(a, b3)
+        dsr.capture(a, b9)
+        assert dsr.as_set == frozenset({3, 9})
+        dsr.reset()
+        assert dsr.as_set == frozenset()
+
+    def test_ptar_loads_mapped_address(self):
+        mapper = AddressMapper(keys({3}, {5}))
+        ptar = PredictionTableAddressRegister(mapper)
+        dsr = DivergenceStatusRegister()
+        a = tuple(range(NUM_SCS))
+        b = tuple(v + (i == 5) for i, v in enumerate(a))
+        dsr.capture(a, b)
+        assert ptar.load(dsr) == 1
+        assert ptar.bits == mapper.ptar_bits
+
+    def test_ptar_defaults_before_load(self):
+        mapper = AddressMapper(keys({3}))
+        ptar = PredictionTableAddressRegister(mapper)
+        assert ptar.value == mapper.default_index

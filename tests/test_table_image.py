@@ -1,0 +1,88 @@
+"""Prediction-table memory image pack/unpack tests."""
+
+import pytest
+
+from repro.core import train_predictor
+from repro.core.table_image import pack_table, unpack_entry, unpack_table
+from repro.cpu import FlopRef
+from repro.faults import ErrorRecord, FaultKind
+
+
+def rec(reg, kind, diverged):
+    return ErrorRecord(benchmark="ttsprk", flop=FlopRef(reg, 0), kind=kind,
+                       inject_cycle=10, detect_cycle=20,
+                       diverged=frozenset(diverged))
+
+
+@pytest.fixture
+def predictor():
+    return train_predictor([
+        rec("pc", FaultKind.STUCK1, {1}),
+        rec("lsu_addr", FaultKind.SOFT, {6}),
+        rec("rf1", FaultKind.SOFT, {9, 10}),
+    ])
+
+
+class TestPack:
+    def test_image_size_matches_entry_accounting(self, predictor):
+        image = pack_table(predictor)
+        assert image.n_entries == len(predictor.table)
+        expected_bits = image.n_entries * image.entry_bits
+        assert len(image.data) == (expected_bits + 7) // 8
+
+    def test_full_order_entries_use_22_bits(self, predictor):
+        """7 units x 3 bits + 1 type bit: the paper's entry width."""
+        image = pack_table(predictor)
+        assert image.entry_bits == 22
+
+    def test_entries_roundtrip(self, predictor):
+        image = pack_table(predictor)
+        table = predictor.table
+        for i, entry in enumerate(table.entries):
+            assert unpack_entry(image, i) == entry
+        assert unpack_entry(image, image.n_entries - 1) == table.default_entry
+
+    def test_topk_image_smaller(self):
+        records = [rec("pc", FaultKind.STUCK1, {i}) for i in range(5)]
+        full = pack_table(train_predictor(records))
+        topk = pack_table(train_predictor(records, top_k=3))
+        assert len(topk) < len(full)
+        assert topk.entry_bits == 3 * 3 + 1
+
+    def test_out_of_range_entry_rejected(self, predictor):
+        image = pack_table(predictor)
+        with pytest.raises(IndexError):
+            unpack_entry(image, image.n_entries)
+
+
+class TestUnpackTable:
+    def test_full_table_roundtrip(self, predictor):
+        image = pack_table(predictor)
+        keys = [key for key, _ in zip(
+            sorted({rec_key for rec_key in predictor.table.mapper._index},
+                   key=predictor.table.mapper.map),
+            range(len(predictor.table.entries)))]
+        rebuilt = unpack_table(image, keys)
+        for key in keys:
+            assert rebuilt.lookup(key) == predictor.table.lookup(key)
+        unseen = frozenset({60, 61})
+        assert rebuilt.lookup(unseen) == predictor.table.lookup(unseen)
+
+    def test_key_count_mismatch_rejected(self, predictor):
+        image = pack_table(predictor)
+        with pytest.raises(ValueError):
+            unpack_table(image, [frozenset({1})] * (image.n_entries + 3))
+
+    def test_fine_taxonomy_uses_4_bit_ids(self, quick_campaign):
+        predictor = train_predictor(quick_campaign.records, fine=True)
+        image = pack_table(predictor)
+        assert image.unit_bits == 4
+        assert image.entry_bits == 13 * 4 + 1
+        for i in range(min(5, image.n_entries - 1)):
+            assert unpack_entry(image, i) == predictor.table.entries[i]
+
+    def test_campaign_scale_roundtrip(self, quick_campaign):
+        predictor = train_predictor(quick_campaign.records)
+        image = pack_table(predictor)
+        for i, entry in enumerate(predictor.table.entries):
+            assert unpack_entry(image, i) == entry

@@ -1,0 +1,67 @@
+"""Workload kernel correctness: the CPU must match the bit-exact
+Python reference model on every kernel, across seeds."""
+
+import pytest
+
+from repro.workloads import DEFAULT_SEED, KERNELS, build, get_workload, run_kernel, workload_names
+
+
+class TestRegistry:
+    def test_ten_kernels(self):
+        assert len(KERNELS) == 10
+
+    def test_names(self):
+        assert set(workload_names()) == {
+            "ttsprk", "a2time", "rspeed", "canrdr", "tblook",
+            "aifirf", "matrix", "puwmod", "iirflt", "idctrn",
+        }
+
+    def test_get_workload(self):
+        assert get_workload("ttsprk").name == "ttsprk"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("nonesuch")
+
+    def test_descriptions_present(self):
+        for workload in KERNELS.values():
+            assert workload.description
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+class TestKernelCorrectness:
+    def test_matches_reference(self, name):
+        workload = KERNELS[name]
+        run = run_kernel(workload)
+        assert run.halted
+        assert not run.exception
+        assert run.outputs == workload.reference(workload.stimulus(DEFAULT_SEED))
+
+    def test_matches_reference_other_seed(self, name):
+        workload = KERNELS[name]
+        run = run_kernel(workload, seed=123456)
+        assert run.halted
+        assert run.outputs == workload.reference(workload.stimulus(123456))
+
+    def test_run_length_reasonable(self, name):
+        run = run_kernel(KERNELS[name])
+        assert 500 < run.cycles < 20_000
+
+    def test_stimulus_deterministic(self, name):
+        workload = KERNELS[name]
+        assert workload.stimulus(7) == workload.stimulus(7)
+
+    def test_stimulus_seed_sensitive(self, name):
+        workload = KERNELS[name]
+        assert workload.stimulus(7) != workload.stimulus(8)
+
+
+class TestBuild:
+    def test_build_returns_program_and_stream(self):
+        program, stream = build(KERNELS["ttsprk"])
+        assert len(program.words) > 10
+        assert stream.values
+
+    def test_entry_points_at_start(self):
+        program, _ = build(KERNELS["matrix"])
+        assert program.entry == program.symbols["_start"]
