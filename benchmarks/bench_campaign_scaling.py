@@ -1,0 +1,121 @@
+"""Campaign-engine scaling benchmarks (framework performance).
+
+Times the sharded fault-injection engine at 1/2/4/8 workers on one
+stratified campaign and prints the speedup table, plus the golden-trace
+``memory_at`` reconstruction hot path (checkpoint+bisect vs the naive
+full-log replay it replaced).
+
+Results are asserted bit-identical across worker counts, so these
+benches double as an integration check of the determinism contract.
+On a single-core container the speedup degenerates to process-pool
+overhead; the table still prints so the trajectory is recorded.
+
+Timings land in ``results/BENCH_<scale>.json`` via the conftest hook.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.faults import CampaignConfig, GoldenTrace, run_campaign
+from repro.faults.golden import MEMORY_CHECKPOINT_EVERY
+from repro.workloads import KERNELS
+
+#: A campaign sized so one measurement run is seconds, not minutes:
+#: two benchmarks at a moderate sampling fraction.
+SCALING_CONFIG = CampaignConfig(
+    benchmarks=("ttsprk", "puwmod"),
+    soft_per_flop=1,
+    hard_per_flop=1,
+    flop_fraction=0.10,
+    max_observe=1000,
+)
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """The workers=1 result every parallel run must reproduce."""
+    return run_campaign(SCALING_CONFIG, workers=1)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_campaign_scaling(benchmark, workers, serial_reference):
+    benchmark.group = "campaign-scaling"
+    benchmark.name = f"campaign_workers_{workers}"
+    result = benchmark.pedantic(
+        run_campaign, args=(SCALING_CONFIG,),
+        kwargs={"workers": workers}, rounds=1, iterations=1)
+    assert result.records == serial_reference.records
+    assert result.injected == serial_reference.injected
+
+
+def test_scaling_speedup_table(report):
+    """One explicit wall-clock sweep with the speedup table artifact."""
+    rows = []
+    base = None
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        result = run_campaign(SCALING_CONFIG, workers=workers)
+        elapsed = time.perf_counter() - start
+        if base is None:
+            base = elapsed
+        rows.append((workers, elapsed, base / elapsed, result.meta["n_shards"]))
+    lines = [f"Campaign scaling — sharded engine, host cores={os.cpu_count()}"]
+    lines += [f"  workers={w}  wall={t:7.2f}s  speedup={s:4.2f}x  shards={n}"
+              for w, t, s, n in rows]
+    report("campaign_scaling", "\n".join(lines))
+    assert rows[0][2] == 1.0
+
+
+def test_memory_at_checkpointed(benchmark):
+    """The optimised reconstruction on a dense write log."""
+    golden = _write_heavy_golden()
+    benchmark.group = "memory-reconstruction"
+    cycles = list(range(0, golden.n_cycles, 11))
+
+    def reconstruct_sweep():
+        for cycle in cycles:
+            golden.memory_at(cycle)
+
+    benchmark(reconstruct_sweep)
+
+
+def test_memory_at_naive_baseline(benchmark):
+    """The seed's full-log replay, kept as the comparison baseline."""
+    golden = _write_heavy_golden()
+    benchmark.group = "memory-reconstruction"
+    cycles = list(range(0, golden.n_cycles, 11))
+
+    def naive_sweep():
+        for cycle in cycles:
+            words = list(golden._initial_words)
+            for when, idx, value in golden.write_log:
+                if when >= cycle:
+                    break
+                words[idx] = value
+
+    benchmark(naive_sweep)
+
+
+def _write_heavy_golden() -> GoldenTrace:
+    """A golden trace carrying a dense synthetic write log.
+
+    The AutoBench-style kernels keep almost everything in registers, so
+    their logs are tiny; a memory-heavy workload writing a few words
+    per cycle is the case the checkpointing exists for.
+    """
+    golden = GoldenTrace(KERNELS["ttsprk"])
+    rnd = random.Random(1)
+    log = [
+        (cycle, rnd.randrange(golden.mem_words), rnd.randrange(1 << 32))
+        for cycle in range(golden.n_cycles)
+        for _ in range(4)
+    ]
+    golden.reindex_write_log(log)
+    return golden

@@ -41,11 +41,15 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
                         help="campaign size preset")
     parser.add_argument("--cache", default=".campaign_cache",
                         help="campaign cache directory")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for the injection campaign "
+                             "(0 = all cores); results are identical for "
+                             "any value")
 
 
 def _load_campaign(args: argparse.Namespace):
     return cached_campaign(_SCALES[args.scale](), cache_dir=args.cache,
-                           progress=True)
+                           progress=True, workers=args.workers)
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:

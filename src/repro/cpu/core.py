@@ -17,6 +17,8 @@ stuck-at fault forces a bit before *every* ``step``.
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 from .isa import (
     CAUSE_BKPT,
     CAUSE_ILLEGAL,
@@ -52,6 +54,8 @@ from .units import REGISTRY
 MASK32 = 0xFFFFFFFF
 
 _SNAP_NAMES: tuple[str, ...] = tuple(spec.name for spec in REGISTRY)
+#: C-level bulk fetch of every flip-flop attribute, in REGISTRY order.
+_SNAP_GET = itemgetter(*_SNAP_NAMES)
 _RF_NAMES: tuple[str, ...] = ("rf0",) + tuple(f"rf{i}" for i in range(1, 16))
 _BTB_TAG = ("btb_tag0", "btb_tag1", "btb_tag2", "btb_tag3")
 _BTB_TGT = ("btb_tgt0", "btb_tgt1", "btb_tgt2", "btb_tgt3")
@@ -115,14 +119,11 @@ class Cpu:
 
     def snapshot(self) -> tuple[int, ...]:
         """Full flip-flop state in canonical :data:`REGISTRY` order."""
-        d = self.__dict__
-        return tuple(d[name] for name in _SNAP_NAMES)
+        return _SNAP_GET(self.__dict__)
 
     def restore(self, state: tuple[int, ...]) -> None:
         """Restore a state captured by :meth:`snapshot`."""
-        d = self.__dict__
-        for name, value in zip(_SNAP_NAMES, state):
-            d[name] = value
+        self.__dict__.update(zip(_SNAP_NAMES, state))
 
     # -- output ports ------------------------------------------------------
 

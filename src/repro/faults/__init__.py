@@ -10,6 +10,13 @@ from .campaign import (
 )
 from .golden import CAMPAIGN_MEM_WORDS, GoldenTrace, LoggingMemory
 from .injector import InjectionEngine
+from .parallel import (
+    Shard,
+    plan_shards,
+    resolve_workers,
+    sampling_rng,
+    schedule_rng,
+)
 from .models import ErrorRecord, ErrorType, Fault, FaultKind, error_type_of
 from .stats import (
     Spread,
@@ -28,6 +35,7 @@ __all__ = [
     "sample_flops", "schedule_faults",
     "CAMPAIGN_MEM_WORDS", "GoldenTrace", "LoggingMemory",
     "InjectionEngine",
+    "Shard", "plan_shards", "resolve_workers", "sampling_rng", "schedule_rng",
     "ErrorRecord", "ErrorType", "Fault", "FaultKind", "error_type_of",
     "Spread", "diverged_set_size_ratio", "manifestation_rates",
     "manifestation_times", "mean_detection_time", "overall_manifestation_rate",

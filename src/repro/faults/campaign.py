@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
-import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -26,12 +26,12 @@ import numpy as np
 
 from ..cpu.units import FINE_UNITS, FlopRef, all_flops
 from ..workloads.kernels import DEFAULT_SEED, KERNELS
-from .golden import GoldenTrace
-from .injector import InjectionEngine
 from .models import ErrorRecord, Fault, FaultKind
 
-#: Bump when the CPU model, SC layout or record schema changes.
-CAMPAIGN_SCHEMA_VERSION = 2
+#: Bump when the CPU model, SC layout, record schema or fault-schedule
+#: derivation changes.  v3: keyed SeedSequence substreams per
+#: (benchmark, flop) replaced the single sequential generator.
+CAMPAIGN_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -128,10 +128,12 @@ def sample_flops(config: CampaignConfig, rng: np.random.Generator) -> list[FlopR
     (including small ones like DPU.FLAGS) contributes experiments even
     at low sampling fractions.
     """
-    flops = all_flops()
+    by_unit: dict[str, list[FlopRef]] = {}
+    for flop in all_flops():
+        by_unit.setdefault(flop.unit, []).append(flop)
     chosen: list[FlopRef] = []
     for unit in FINE_UNITS:
-        unit_flops = [f for f in flops if f.unit == unit]
+        unit_flops = by_unit.get(unit, [])
         k = max(1, round(config.flop_fraction * len(unit_flops)))
         k = min(k, len(unit_flops))
         idxs = rng.choice(len(unit_flops), size=k, replace=False)
@@ -165,59 +167,67 @@ def schedule_faults(flop: FlopRef, n_cycles: int, config: CampaignConfig,
 
 
 def run_campaign(config: CampaignConfig | None = None,
-                 progress: bool = False) -> CampaignResult:
-    """Execute a campaign and return its result."""
+                 progress: bool = False, workers: int | None = 1,
+                 chunk_flops: int | None = None) -> CampaignResult:
+    """Execute a campaign and return its result.
+
+    Args:
+        config: campaign parameters (default: :meth:`CampaignConfig.default`).
+        progress: print per-shard progress lines.
+        workers: worker processes for the sharded engine; ``1`` runs the
+            shards inline in this process, ``None``/``0`` uses every
+            core.  Results are bit-identical for any value (see
+            :mod:`repro.faults.parallel`).
+        chunk_flops: flops per shard (default: auto, ~4 shards per
+            worker per benchmark).  Affects only scheduling granularity,
+            never results.
+    """
+    from .parallel import execute_campaign
+
     config = config or CampaignConfig.default()
-    rng = np.random.default_rng(config.seed)
-    flops = sample_flops(config, rng)
+    return execute_campaign(config, progress=progress, workers=workers,
+                            chunk_flops=chunk_flops)
 
-    records: list[ErrorRecord] = []
-    injected: dict[tuple[str, str], int] = {}
-    golden_cycles: dict[str, int] = {}
-    sampled: dict[str, int] = {}
-    for flop in flops:
-        sampled[flop.unit] = sampled.get(flop.unit, 0) + 1
 
-    start = time.perf_counter()
-    for bench in config.benchmarks:
-        golden = GoldenTrace(KERNELS[bench], seed=config.seed)
-        golden_cycles[bench] = golden.n_cycles
-        engine = InjectionEngine(golden, max_observe=config.max_observe,
-                                 mask_check_stride=config.mask_check_stride)
-        for i, flop in enumerate(flops):
-            for fault in schedule_faults(flop, golden.n_cycles, config, rng):
-                key = (flop.unit, fault.kind.value)
-                injected[key] = injected.get(key, 0) + 1
-                record = engine.inject(fault)
-                if record is not None:
-                    records.append(record)
-            if progress and i % 200 == 0:
-                elapsed = time.perf_counter() - start
-                print(f"[campaign] {bench}: flop {i}/{len(flops)} "
-                      f"errors={len(records)} t={elapsed:.0f}s", flush=True)
+def _load_cached(path: Path, config: CampaignConfig) -> CampaignResult | None:
+    """Load and validate a cached campaign; None if unusable.
 
-    return CampaignResult(
-        config=config,
-        records=records,
-        injected=injected,
-        golden_cycles=golden_cycles,
-        sampled_flops=sampled,
-        wall_seconds=time.perf_counter() - start,
-    )
+    Guards against both corrupt pickles and stale files whose embedded
+    config no longer hashes to the requested key (e.g. a cache dir
+    carried across a schema change, or a hand-renamed file).
+    """
+    try:
+        result = CampaignResult.load(path)
+    except Exception as exc:  # unpicklable, truncated, wrong type ...
+        warnings.warn(f"discarding unreadable campaign cache {path}: {exc}",
+                      RuntimeWarning, stacklevel=3)
+        return None
+    if result.config.cache_key() != config.cache_key():
+        warnings.warn(
+            f"campaign cache {path} was produced by a different "
+            f"configuration (key {result.config.cache_key()}, expected "
+            f"{config.cache_key()}); re-running", RuntimeWarning, stacklevel=3)
+        return None
+    return result
 
 
 def cached_campaign(config: CampaignConfig | None = None,
                     cache_dir: str | Path = ".campaign_cache",
-                    progress: bool = False) -> CampaignResult:
+                    progress: bool = False,
+                    workers: int | None = 1) -> CampaignResult:
     """Run a campaign, or load it from the on-disk cache if present.
 
     All benchmark-harness figures share one campaign run through this
-    cache, keyed by the configuration hash.
+    cache, keyed by the configuration hash.  The key is independent of
+    ``workers`` — a result computed with any worker count is identical,
+    so it is shared by all of them.
     """
     config = config or CampaignConfig.default()
     path = Path(cache_dir) / f"campaign_{config.cache_key()}.pkl"
     if path.exists():
-        return CampaignResult.load(path)
-    result = run_campaign(config, progress=progress)
+        result = _load_cached(path, config)
+        if result is not None:
+            return result
+    result = run_campaign(config, progress=progress, workers=workers)
     result.save(path)
     return result

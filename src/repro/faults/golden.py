@@ -11,6 +11,8 @@ a transient's effects have been fully masked.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 import numpy as np
 
 from ..cpu.assembler import Program, assemble
@@ -23,6 +25,11 @@ from ..workloads.kernels import DEFAULT_SEED, Workload
 #: per-experiment memory reconstruction is cheap; large enough for
 #: every kernel's code, tables and data buffers.
 CAMPAIGN_MEM_WORDS = 2048
+
+#: Write-log entries between memory checkpoints.  Reconstruction cost
+#: is one full-image copy plus at most this many replayed writes, so a
+#: smaller stride trades checkpoint memory for faster ``memory_at``.
+MEMORY_CHECKPOINT_EVERY = 512
 
 
 class LoggingMemory(Memory):
@@ -89,20 +96,63 @@ class GoldenTrace:
         self.n_cycles = t
         self.outputs = outputs
         self.states = states
-        self.write_log = mem.log
+        self.reindex_write_log(mem.log)
         #: (n_cycles, n_registers) matrix of register values, used for
         #: vectorised stuck-at activation search.
         self.state_matrix = np.array(states, dtype=np.uint64)
 
+    def reindex_write_log(self, log: list[tuple[int, int, int]]) -> None:
+        """Attach ``log`` and rebuild the reconstruction index.
+
+        The log must be cycle-sorted (which a recorded trace is by
+        construction).  Checkpoints are rebuilt lazily on the next
+        :meth:`memory_at` call.
+        """
+        self.write_log = log
+        self._log_cycles = [entry[0] for entry in log]
+        self._mem_checkpoints: list[list[int]] | None = None
+
+    def _checkpoints(self) -> list[list[int]]:
+        """Memory images after each ``MEMORY_CHECKPOINT_EVERY`` writes.
+
+        ``_checkpoints()[k]`` is the word array after applying
+        ``write_log[:(k + 1) * MEMORY_CHECKPOINT_EVERY]``.  Built once,
+        on first use, in a single pass over the log.
+        """
+        ckpts = self._mem_checkpoints
+        if ckpts is None:
+            ckpts = []
+            words = list(self._initial_words)
+            log = self.write_log
+            stride = MEMORY_CHECKPOINT_EVERY
+            for k in range(stride, len(log) + 1, stride):
+                for _, idx, value in log[k - stride:k]:
+                    words[idx] = value
+                ckpts.append(list(words))
+            self._mem_checkpoints = ckpts
+        return ckpts
+
     def memory_at(self, cycle: int) -> Memory:
-        """Reconstruct the memory image as of the start of ``cycle``."""
+        """Reconstruct the memory image as of the start of ``cycle``.
+
+        Starts from the nearest preceding checkpoint and replays only
+        the delta, so reconstruction is O(image + stride) instead of
+        O(image + whole log).
+        """
+        # Entries with when < cycle are committed before `cycle` starts.
+        j = bisect_left(self._log_cycles, cycle)
+        k = j // MEMORY_CHECKPOINT_EVERY
+        if k:
+            words = list(self._checkpoints()[k - 1])
+            base = k * MEMORY_CHECKPOINT_EVERY
+        else:
+            words = list(self._initial_words)
+            base = 0
+        for _, idx, value in self.write_log[base:j]:
+            words[idx] = value
         mem = Memory.__new__(Memory)
         mem.size = self.mem_words
-        mem.words = list(self._initial_words)
-        for when, idx, value in self.write_log:
-            if when >= cycle:
-                break
-            mem.words[idx] = value
+        mem.words = words
         return mem
 
     def activation_cycle(self, reg: str, bit: int, value: int, start: int) -> int | None:

@@ -42,9 +42,6 @@ class InjectionEngine:
         self.golden = golden
         self.max_observe = max_observe
         self.mask_check_stride = max(1, mask_check_stride)
-        dummy = Memory.__new__(Memory)
-        dummy.size = golden.mem_words
-        dummy.words = [0] * 0
         self._cpu = Cpu(Memory(16), golden.stimulus)
 
     def inject(self, fault: Fault) -> ErrorRecord | None:
@@ -71,8 +68,10 @@ class InjectionEngine:
         g_states = golden.states
         n = golden.n_cycles
         stride = self.mask_check_stride
+        step = cpu.step
+        snapshot = cpu.snapshot
         for t in range(t0, n):
-            out = cpu.step()
+            out = step()
             if out != g_outputs[t]:
                 return ErrorRecord(
                     benchmark=golden.workload.name,
@@ -82,7 +81,7 @@ class InjectionEngine:
                     detect_cycle=t,
                     diverged=diverged_set(out, g_outputs[t]),
                 )
-            if t + 1 < n and (t - t0) % stride == 0 and cpu.snapshot() == g_states[t + 1]:
+            if t + 1 < n and (t - t0) % stride == 0 and snapshot() == g_states[t + 1]:
                 return None  # fully re-converged: masked
         return None  # ran to completion without divergence: masked
 
@@ -112,13 +111,14 @@ class InjectionEngine:
         n = golden.n_cycles
         end = n if self.max_observe is None else min(n, t_act + self.max_observe)
         d = cpu.__dict__
+        step = cpu.step
         for t in range(t_act, end):
             # Re-assert the stuck-at before the cycle evaluates.
             if value:
                 d[reg] |= mask
             else:
                 d[reg] &= ~mask
-            out = cpu.step()
+            out = step()
             if out != g_outputs[t]:
                 return ErrorRecord(
                     benchmark=golden.workload.name,

@@ -1,0 +1,223 @@
+"""Parallel fault-injection campaign execution engine.
+
+The paper's ~10M-experiment campaign ran on a server cluster; this
+module reproduces that fan-out on one machine by sharding the
+(benchmark × flop-chunk) work grid across a ``ProcessPoolExecutor``.
+Each worker process builds its benchmark's :class:`GoldenTrace` once
+(per-process cache) and runs its shard through a private
+:class:`InjectionEngine`, so the only cross-process traffic is the
+shard descriptions going out and the (records, counts) coming back.
+
+Determinism
+-----------
+
+Campaign results are **bit-identical for any worker count, chunk size
+or shard completion order**.  Two mechanisms guarantee this:
+
+1.  *Keyed random substreams.*  Instead of one sequential generator
+    whose draw order would depend on the execution schedule, every
+    random decision is drawn from a ``numpy.random.SeedSequence``
+    derived from the campaign seed and a structural key::
+
+        sampling stream        SeedSequence(seed, spawn_key=(0,))
+        schedule of (b, f)     SeedSequence(seed, spawn_key=(1, b, f))
+
+    where ``b`` is the benchmark index and ``f`` the global index of
+    the flop in the sampled list.  A flop's fault schedule therefore
+    depends only on *which* flop it is, never on which worker runs it
+    or what ran before it.
+
+2.  *Deterministic merge.*  Shards may complete in any order, but the
+    merge walks them in (benchmark index, flop base) order, so the
+    merged record list equals the serial nested-loop order exactly.
+
+The serial path (``workers=1``) runs the very same shards inline, so
+``run_campaign`` is one code path with the pool as the only variable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cpu.units import FlopRef
+from ..workloads.kernels import KERNELS
+from .golden import GoldenTrace
+from .injector import InjectionEngine
+from .models import ErrorRecord
+
+#: spawn_key stream tags (first element of every derived key).
+SAMPLING_STREAM = 0
+SCHEDULE_STREAM = 1
+
+
+def sampling_rng(seed: int) -> np.random.Generator:
+    """The campaign's flop-sampling random stream."""
+    return np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(SAMPLING_STREAM,)))
+
+
+def schedule_rng(seed: int, bench_idx: int, flop_idx: int) -> np.random.Generator:
+    """The fault-schedule stream for one (benchmark, flop) cell.
+
+    Keyed, not spawned sequentially: any worker can derive the stream
+    for its cells without coordinating with the others.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(SCHEDULE_STREAM, bench_idx, flop_idx)))
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker-count request (``None``/``0`` = all cores)."""
+    if not workers:
+        return os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of campaign work: a slice of flops on one benchmark."""
+
+    bench_idx: int
+    benchmark: str
+    #: global index (into the sampled flop list) of ``flops[0]``.
+    flop_base: int
+    flops: tuple[FlopRef, ...]
+
+    @property
+    def order_key(self) -> tuple[int, int]:
+        """Merge position; shards are combined in this order."""
+        return (self.bench_idx, self.flop_base)
+
+
+def plan_shards(benchmarks: tuple[str, ...], flops: list[FlopRef],
+                workers: int, chunk_flops: int | None = None) -> list[Shard]:
+    """Split the (benchmark × flop) grid into ordered shards.
+
+    The default chunk size aims at ~4 chunks per worker per benchmark
+    for load balancing; because schedules are keyed per (benchmark,
+    flop), the chunking never affects results, only wall-clock.
+    """
+    if chunk_flops is None:
+        chunk_flops = max(1, -(-len(flops) // max(1, 4 * workers)))
+    chunk_flops = max(1, int(chunk_flops))
+    return [
+        Shard(b, bench, start, tuple(flops[start:start + chunk_flops]))
+        for b, bench in enumerate(benchmarks)
+        for start in range(0, len(flops), chunk_flops)
+    ]
+
+
+# -- worker side -------------------------------------------------------------
+
+#: Per-process GoldenTrace cache: (benchmark, seed) -> trace.  Worker
+#: processes are reused across shards, so each benchmark's golden run
+#: is simulated at most once per process.
+_GOLDEN_CACHE: dict[tuple[str, int], GoldenTrace] = {}
+
+
+def _golden_for(benchmark: str, seed: int) -> GoldenTrace:
+    key = (benchmark, seed)
+    golden = _GOLDEN_CACHE.get(key)
+    if golden is None:
+        golden = GoldenTrace(KERNELS[benchmark], seed=seed)
+        _GOLDEN_CACHE[key] = golden
+    return golden
+
+
+def run_shard(config, shard: Shard) -> tuple[
+        list[ErrorRecord], dict[tuple[str, str], int], int]:
+    """Execute one shard; returns (records, injected counts, golden cycles).
+
+    Top-level so it pickles into pool workers; also called inline by
+    the ``workers=1`` path.
+    """
+    from .campaign import schedule_faults
+
+    golden = _golden_for(shard.benchmark, config.seed)
+    engine = InjectionEngine(golden, max_observe=config.max_observe,
+                             mask_check_stride=config.mask_check_stride)
+    records: list[ErrorRecord] = []
+    injected: dict[tuple[str, str], int] = {}
+    for offset, flop in enumerate(shard.flops):
+        rng = schedule_rng(config.seed, shard.bench_idx, shard.flop_base + offset)
+        for fault in schedule_faults(flop, golden.n_cycles, config, rng):
+            key = (flop.unit, fault.kind.value)
+            injected[key] = injected.get(key, 0) + 1
+            record = engine.inject(fault)
+            if record is not None:
+                records.append(record)
+    return records, injected, golden.n_cycles
+
+
+# -- controller side ---------------------------------------------------------
+
+def execute_campaign(config, progress: bool = False, workers: int | None = 1,
+                     chunk_flops: int | None = None):
+    """Run a campaign across ``workers`` processes; merge deterministically.
+
+    This is the engine behind :func:`repro.faults.run_campaign`; see
+    that wrapper for the public contract.
+    """
+    from .campaign import CampaignResult, sample_flops
+
+    workers = resolve_workers(workers)
+    flops = sample_flops(config, sampling_rng(config.seed))
+    sampled: dict[str, int] = {}
+    for flop in flops:
+        sampled[flop.unit] = sampled.get(flop.unit, 0) + 1
+
+    shards = plan_shards(config.benchmarks, flops, workers, chunk_flops)
+    start = time.perf_counter()
+    outcomes: dict[tuple[int, int], tuple] = {}
+
+    if workers == 1 or len(shards) == 1:
+        for i, shard in enumerate(shards):
+            outcomes[shard.order_key] = run_shard(config, shard)
+            if progress:
+                _print_progress(i + 1, shards, outcomes, start)
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {pool.submit(run_shard, config, shard): shard
+                       for shard in shards}
+            done_count = 0
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    shard = pending.pop(future)
+                    outcomes[shard.order_key] = future.result()
+                    done_count += 1
+                    if progress:
+                        _print_progress(done_count, shards, outcomes, start)
+
+    records: list[ErrorRecord] = []
+    injected: dict[tuple[str, str], int] = {}
+    golden_cycles: dict[str, int] = {}
+    for shard in shards:  # already in order_key order
+        recs, inj, n_cycles = outcomes[shard.order_key]
+        records.extend(recs)
+        for key, count in inj.items():
+            injected[key] = injected.get(key, 0) + count
+        golden_cycles[shard.benchmark] = n_cycles
+
+    return CampaignResult(
+        config=config,
+        records=records,
+        injected=injected,
+        golden_cycles=golden_cycles,
+        sampled_flops=sampled,
+        wall_seconds=time.perf_counter() - start,
+        meta={"workers": workers, "n_shards": len(shards),
+              "chunk_flops": len(shards[0].flops) if shards else 0},
+    )
+
+
+def _print_progress(done: int, shards: list[Shard], outcomes: dict, start: float) -> None:
+    errors = sum(len(out[0]) for out in outcomes.values())
+    elapsed = time.perf_counter() - start
+    print(f"[campaign] shard {done}/{len(shards)} "
+          f"errors={errors} t={elapsed:.0f}s", flush=True)

@@ -1,0 +1,150 @@
+"""Parallel campaign engine tests: sharding, seeding, determinism."""
+
+import pickle
+
+import pytest
+
+from repro.faults import (
+    CampaignConfig,
+    CampaignResult,
+    cached_campaign,
+    plan_shards,
+    resolve_workers,
+    run_campaign,
+    sample_flops,
+    sampling_rng,
+    schedule_faults,
+    schedule_rng,
+)
+
+
+class TestSeeding:
+    def test_schedule_rng_keyed_not_sequential(self):
+        """The same (benchmark, flop) cell always gets the same stream,
+        regardless of how many other streams were derived before it."""
+        a = schedule_rng(7, 2, 31).integers(1 << 30, size=8)
+        schedule_rng(7, 0, 0).integers(1 << 30, size=100)  # unrelated draws
+        b = schedule_rng(7, 2, 31).integers(1 << 30, size=8)
+        assert list(a) == list(b)
+
+    def test_schedule_rng_distinct_cells_distinct_streams(self):
+        draws = {
+            tuple(schedule_rng(7, b, f).integers(1 << 30, size=4))
+            for b in range(3) for f in range(3)
+        }
+        assert len(draws) == 9
+
+    def test_sampling_rng_independent_of_schedule_rng(self):
+        a = sampling_rng(7).integers(1 << 30, size=4)
+        b = schedule_rng(7, 0, 0).integers(1 << 30, size=4)
+        assert list(a) != list(b)
+
+    def test_schedule_faults_reproducible_per_cell(self):
+        cfg = CampaignConfig.quick()
+        flops = sample_flops(cfg, sampling_rng(cfg.seed))
+        first = schedule_faults(flops[0], 1400, cfg, schedule_rng(cfg.seed, 0, 0))
+        again = schedule_faults(flops[0], 1400, cfg, schedule_rng(cfg.seed, 0, 0))
+        assert first == again
+
+
+class TestSharding:
+    def test_shards_cover_grid_exactly_once(self):
+        cfg = CampaignConfig.quick()
+        flops = sample_flops(cfg, sampling_rng(cfg.seed))
+        shards = plan_shards(("a", "b"), flops, workers=3, chunk_flops=5)
+        for bench in ("a", "b"):
+            covered = [
+                flop for shard in shards if shard.benchmark == bench
+                for flop in shard.flops
+            ]
+            assert covered == flops
+
+    def test_shards_ordered_by_bench_then_base(self):
+        cfg = CampaignConfig.quick()
+        flops = sample_flops(cfg, sampling_rng(cfg.seed))
+        shards = plan_shards(("a", "b"), flops, workers=2, chunk_flops=4)
+        assert [s.order_key for s in shards] == \
+               sorted(s.order_key for s in shards)
+
+    def test_flop_base_indexes_global_list(self):
+        cfg = CampaignConfig.quick()
+        flops = sample_flops(cfg, sampling_rng(cfg.seed))
+        for shard in plan_shards(("a",), flops, workers=2, chunk_flops=3):
+            for offset, flop in enumerate(shard.flops):
+                assert flops[shard.flop_base + offset] == flop
+
+    def test_resolve_workers(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self, quick_campaign):
+        """The acceptance property: 4 workers, same campaign, bit for bit."""
+        parallel = run_campaign(CampaignConfig.quick(), workers=4)
+        assert parallel.records == quick_campaign.records
+        assert parallel.injected == quick_campaign.injected
+        assert parallel.sampled_flops == quick_campaign.sampled_flops
+        assert parallel.golden_cycles == quick_campaign.golden_cycles
+
+    def test_chunk_size_does_not_change_results(self, quick_campaign):
+        odd = run_campaign(CampaignConfig.quick(), workers=1, chunk_flops=3)
+        assert odd.records == quick_campaign.records
+        assert odd.injected == quick_campaign.injected
+
+    def test_meta_records_execution_shape(self):
+        result = run_campaign(CampaignConfig.quick(), workers=1, chunk_flops=50)
+        assert result.meta["workers"] == 1
+        assert result.meta["chunk_flops"] == 50
+        assert result.meta["n_shards"] >= 1
+
+
+class TestCacheHardening:
+    def test_corrupt_cache_falls_back_to_fresh_run(self, tmp_path):
+        cfg = CampaignConfig.quick()
+        path = tmp_path / f"campaign_{cfg.cache_key()}.pkl"
+        path.write_bytes(b"not a pickle")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            result = cached_campaign(cfg, cache_dir=tmp_path)
+        assert isinstance(result, CampaignResult)
+        assert result.n_injected > 0
+        # the fresh result replaced the corrupt file
+        assert cached_campaign(cfg, cache_dir=tmp_path).records == result.records
+
+    def test_mismatched_config_falls_back_to_fresh_run(self, tmp_path, quick_campaign):
+        cfg = CampaignConfig.quick()
+        other = CampaignConfig(benchmarks=("ttsprk",), soft_per_flop=1,
+                               hard_per_flop=1, flop_fraction=0.02,
+                               max_observe=300)
+        # a result for `other` filed under cfg's cache key
+        path = tmp_path / f"campaign_{cfg.cache_key()}.pkl"
+        stale = CampaignResult(config=other, records=[], injected={},
+                               golden_cycles={}, sampled_flops={})
+        stale.save(path)
+        with pytest.warns(RuntimeWarning, match="different"):
+            result = cached_campaign(cfg, cache_dir=tmp_path)
+        assert result.config == cfg
+        assert result.records == quick_campaign.records
+
+    def test_wrong_payload_type_falls_back(self, tmp_path):
+        cfg = CampaignConfig.quick()
+        path = tmp_path / f"campaign_{cfg.cache_key()}.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump(["not", "a", "campaign"], fh)
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            result = cached_campaign(cfg, cache_dir=tmp_path)
+        assert isinstance(result, CampaignResult)
+
+
+class TestCli:
+    def test_workers_flag_parsed(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["campaign", "--workers", "4"])
+        assert args.workers == 4
+
+    def test_workers_default_serial(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["campaign"])
+        assert args.workers == 1
