@@ -11,7 +11,7 @@ import numpy as np
 from repro.cpu import Cpu, FlopRef, Memory
 from repro.cpu.memory import InputStream
 from repro.faults import Fault, FaultKind, GoldenTrace, InjectionEngine
-from repro.lockstep import LockstepChecker
+from repro.lockstep import LockstepChecker, expand_ports
 from repro.workloads import KERNELS, build
 
 
@@ -41,7 +41,7 @@ def test_snapshot_throughput(benchmark):
 
 def test_lockstep_compare_throughput(benchmark):
     cpu = _fresh_cpu()
-    out = cpu.outputs()
+    out = cpu.port_state()
     checker = LockstepChecker()
 
     def compare_block():
@@ -51,9 +51,31 @@ def test_lockstep_compare_throughput(benchmark):
     benchmark(compare_block)
 
 
+def test_port_expansion_throughput(benchmark):
+    cpu = _fresh_cpu()
+    cpu.run(100)
+    out = cpu.port_state()
+
+    def expand_block():
+        for _ in range(1000):
+            expand_ports(out)
+
+    benchmark(expand_block)
+
+
 def test_golden_trace_build(benchmark):
     benchmark.pedantic(GoldenTrace, args=(KERNELS["ttsprk"],),
                        rounds=2, iterations=1)
+
+
+def test_golden_trace_cache_load(benchmark, tmp_path):
+    GoldenTrace.cached(KERNELS["ttsprk"], cache_dir=tmp_path)  # populate
+
+    def load():
+        return GoldenTrace.cached(KERNELS["ttsprk"], cache_dir=tmp_path)
+
+    trace = benchmark(load)
+    assert trace.n_cycles > 0
 
 
 def test_injection_throughput(benchmark):

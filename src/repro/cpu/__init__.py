@@ -1,7 +1,7 @@
 """Flip-flop-accurate SR5 CPU substrate: ISA, assembler, core, memory."""
 
 from .assembler import Assembler, AssemblerError, Program, assemble
-from .core import NUM_SCS, Cpu
+from .core import NUM_PORTS, NUM_SCS, Cpu
 from .isa import Instruction, Op, decode
 from .memory import InputStream, Memory
 from .units import (
@@ -18,7 +18,7 @@ from .units import (
 
 __all__ = [
     "Assembler", "AssemblerError", "Program", "assemble",
-    "Cpu", "NUM_SCS",
+    "Cpu", "NUM_PORTS", "NUM_SCS",
     "Instruction", "Op", "decode",
     "InputStream", "Memory",
     "COARSE_UNITS", "FINE_UNITS", "REGISTRY", "TOTAL_FLOPS",

@@ -9,10 +9,18 @@ Every sequential element is an instance attribute named after its
 :class:`repro.cpu.units.RegSpec`, so faults can be injected into any
 individual flip-flop and snapshots are exact microarchitectural state.
 
-Cycle semantics: ``step()`` first derives the 62-signal-category output
-port vector from the *current* flip-flop state, then computes the next
-state.  A transient fault flips a bit before a cycle's ``step``; a
-stuck-at fault forces a bit before *every* ``step``.
+Cycle semantics: ``step()`` first derives the output port view from the
+*current* flip-flop state, then computes the next state.  A transient
+fault flips a bit before a cycle's ``step``; a stuck-at fault forces a
+bit before *every* ``step``.
+
+``step()`` returns the *compact* port tuple (:meth:`Cpu.port_state`):
+the :data:`NUM_PORTS` underlying interface registers with only their
+SC-visible bits kept.  Masked-port equality is bijective with equality
+of the expanded 62-signal-category vector (every SC is a fixed bit
+field of exactly one port entry), so lockstep comparison can run on the
+compact tuple and expand to signal categories only at a divergence —
+see :func:`repro.lockstep.categories.expand_ports`.
 """
 
 from __future__ import annotations
@@ -87,6 +95,9 @@ _OP_MUL, _OP_MULH = int(Op.MUL), int(Op.MULH)
 
 #: Number of signal categories on the output port boundary (paper: 62).
 NUM_SCS = 62
+
+#: Number of entries in the compact port tuple (:meth:`Cpu.port_state`).
+NUM_PORTS = 18
 
 
 def _signed(value: int) -> int:
@@ -167,72 +178,121 @@ class Cpu:
             d["br_taken"] | (d["br_valid"] << 1),
         )
 
+    def port_state(self) -> tuple[int, ...]:
+        """The compact output port tuple: :data:`NUM_PORTS` masked registers.
+
+        Each entry is one underlying interface register with only its
+        SC-visible bits kept (``status`` keeps bit 0 only; every other
+        port register is fully visible at the sphere boundary).  The
+        expansion of this tuple through
+        :func:`repro.lockstep.categories.expand_ports` is bit-for-bit
+        the 62-SC vector of :meth:`outputs`, and because every signal
+        category is a fixed bit field of exactly one entry here,
+        compact-tuple equality is equivalent to SC-tuple equality.
+        ``step()`` returns this cheap view; expand it only on
+        divergence.
+        """
+        d = self.__dict__
+        return (
+            d["imc_addr"], d["imc_valid"], d["imc_pred"],
+            d["dmc_addr"], d["dmc_wdata"], d["dmc_ctrl"], d["dmc_strb"],
+            d["bus_addr"], d["bus_data"], d["bus_ctrl"],
+            d["io_out"], d["io_out_v"],
+            d["ret_pc"], d["ret_val"], d["ret_rd"], d["ret_valid"],
+            (d["status"] & 1) | (d["halted"] << 1),
+            d["br_taken"] | (d["br_valid"] << 1),
+        )
+
     # -- one clock cycle -----------------------------------------------------
 
     def step(self) -> tuple[int, ...]:
-        """Advance one clock; returns this cycle's output port vector."""
-        out = self.outputs()
+        """Advance one clock; returns this cycle's compact port tuple.
+
+        The return value is :meth:`port_state` of the pre-step state,
+        inlined here because this is the simulator's innermost loop.
+        """
         d = self.__dict__
+        out = (
+            d["imc_addr"], d["imc_valid"], d["imc_pred"],
+            d["dmc_addr"], d["dmc_wdata"], d["dmc_ctrl"], d["dmc_strb"],
+            d["bus_addr"], d["bus_data"], d["bus_ctrl"],
+            d["io_out"], d["io_out_v"],
+            d["ret_pc"], d["ret_val"], d["ret_rd"], d["ret_valid"],
+            (d["status"] & 1) | (d["halted"] << 1),
+            d["br_taken"] | (d["br_valid"] << 1),
+        )
         if d["halted"]:
             return out
         mem = self.mem
 
         # ------------------ MW stage (older instruction) ------------------
-        lsu_op = d["lsu_op"]; lsu_valid = d["lsu_valid"]
-        lsu_addr = d["lsu_addr"]; lsu_wdata = d["lsu_wdata"]
-        sb_valid = d["sb_valid"]; sb_addr = d["sb_addr"]
-        sb_data = d["sb_data"]; sb_op = d["sb_op"]
+        # The store buffer registers are only read here, so drains and
+        # refills update them in place (no next-state temporaries).
+        lsu_valid = d["lsu_valid"]
+        sb_valid = d["sb_valid"]
         mw_valid = d["mw_valid"]
-
-        n_sb_valid, n_sb_addr, n_sb_data, n_sb_op = sb_valid, sb_addr, sb_data, sb_op
         d_read = d_write = False
         d_addr = d_waddr = 0
         d_wdata = 0
         load_data = 0
         d_byte_w = d_byte_r = False
 
-        def _drain() -> None:
-            nonlocal d_write, d_waddr, d_wdata, d_byte_w, n_sb_valid
-            if sb_op:
-                mem.write_byte(sb_addr, sb_data)
+        if lsu_valid or sb_valid:
+            lsu_op = d["lsu_op"]; lsu_addr = d["lsu_addr"]
+            sb_addr = d["sb_addr"]; sb_data = d["sb_data"]; sb_op = d["sb_op"]
+            if lsu_valid:
+                if lsu_op == _LSU_LD or lsu_op == _LSU_LDB:
+                    if sb_valid and ((sb_addr ^ lsu_addr) & ~3) & MASK32 == 0:
+                        # Drain the store buffer ahead of the aliasing load.
+                        if sb_op:
+                            mem.write_byte(sb_addr, sb_data)
+                        else:
+                            mem.write_word(sb_addr, sb_data)
+                        d_write = True
+                        d_waddr = sb_addr
+                        d_wdata = sb_data
+                        d_byte_w = bool(sb_op)
+                        d["sb_valid"] = 0
+                    if lsu_op == _LSU_LD:
+                        load_data = mem.read_word(lsu_addr)
+                    else:
+                        load_data = mem.read_byte(lsu_addr)
+                        d_byte_r = True
+                    d_read = True
+                    d_addr = lsu_addr
+                elif lsu_op == _LSU_ST or lsu_op == _LSU_STB:
+                    if sb_valid:
+                        if sb_op:
+                            mem.write_byte(sb_addr, sb_data)
+                        else:
+                            mem.write_word(sb_addr, sb_data)
+                        d_write = True
+                        d_waddr = sb_addr
+                        d_wdata = sb_data
+                        d_byte_w = bool(sb_op)
+                    d["sb_addr"] = lsu_addr
+                    d["sb_data"] = d["lsu_wdata"]
+                    d["sb_op"] = 1 if lsu_op == _LSU_STB else 0
+                    d["sb_valid"] = 1
+                elif lsu_op == _LSU_IN:
+                    load_data = self.stim.sample(d["io_in_idx"])
+                    d["io_in"] = load_data
+                    d["io_in_idx"] = (d["io_in_idx"] + 1) & 0xFFFF
+                elif lsu_op == _LSU_OUT:
+                    # The strobe toggles per OUT event so back-to-back writes
+                    # of the same value remain observable at the port.
+                    d["io_out"] = d["lsu_wdata"]
+                    d["io_out_v"] ^= 1
             else:
-                mem.write_word(sb_addr, sb_data)
-            d_write = True
-            d_waddr = sb_addr
-            d_wdata = sb_data
-            d_byte_w = bool(sb_op)
-            n_sb_valid = 0
-
-        if lsu_valid:
-            if lsu_op == _LSU_LD or lsu_op == _LSU_LDB:
-                if sb_valid and ((sb_addr ^ lsu_addr) & ~3) & MASK32 == 0:
-                    _drain()
-                if lsu_op == _LSU_LD:
-                    load_data = mem.read_word(lsu_addr)
+                if sb_op:
+                    mem.write_byte(sb_addr, sb_data)
                 else:
-                    load_data = mem.read_byte(lsu_addr)
-                    d_byte_r = True
-                d_read = True
-                d_addr = lsu_addr
-            elif lsu_op == _LSU_ST or lsu_op == _LSU_STB:
-                if sb_valid:
-                    _drain()
-                n_sb_addr = lsu_addr
-                n_sb_data = lsu_wdata
-                n_sb_op = 1 if lsu_op == _LSU_STB else 0
-                n_sb_valid = 1
-            elif lsu_op == _LSU_IN:
-                load_data = self.stim.sample(d["io_in_idx"])
-                d["io_in"] = load_data
-                d["io_in_idx"] = (d["io_in_idx"] + 1) & 0xFFFF
-            elif lsu_op == _LSU_OUT:
-                # The strobe toggles per OUT event so back-to-back writes
-                # of the same value remain observable at the port.
-                d["io_out"] = lsu_wdata
-                d["io_out_v"] ^= 1
-        else:
-            if sb_valid:
-                _drain()
+                    mem.write_word(sb_addr, sb_data)
+                d_write = True
+                d_waddr = sb_addr
+                d_wdata = sb_data
+                d_byte_w = bool(sb_op)
+                d["sb_valid"] = 0
 
         # Data memory controller interface registers.
         if d_read or d_write:
@@ -246,6 +306,8 @@ class Cpu:
             prim_byte = d_byte_r if d_read else d_byte_w
             d["dmc_strb"] = (1 << (prim_addr & 3)) if prim_byte else 0xF
         else:
+            # Unconditional clears: a fault-flipped bit in either
+            # register must wash out next cycle, exactly as before.
             d["dmc_ctrl"] = 0
             d["dmc_strb"] = 0
 
@@ -487,10 +549,6 @@ class Cpu:
             d["lsu_valid"] = 0
             d["lsu_op"] = _LSU_NONE
         d["br_valid"] = n_br_valid
-        d["sb_valid"] = n_sb_valid
-        d["sb_addr"] = n_sb_addr
-        d["sb_data"] = n_sb_data
-        d["sb_op"] = n_sb_op
 
         # ------------------ IF stages ------------------
         fetch_active = False

@@ -8,11 +8,18 @@ from .campaign import (
     sample_flops,
     schedule_faults,
 )
-from .golden import CAMPAIGN_MEM_WORDS, GoldenTrace, LoggingMemory
+from .golden import (
+    CAMPAIGN_MEM_WORDS,
+    GOLDEN_CACHE_ENV,
+    GoldenTrace,
+    LoggingMemory,
+    golden_cache_dir,
+)
 from .injector import InjectionEngine
 from .parallel import (
     Shard,
     plan_shards,
+    resolve_chunk,
     resolve_workers,
     sampling_rng,
     schedule_rng,
@@ -33,9 +40,11 @@ from .stats import (
 __all__ = [
     "CampaignConfig", "CampaignResult", "cached_campaign", "run_campaign",
     "sample_flops", "schedule_faults",
-    "CAMPAIGN_MEM_WORDS", "GoldenTrace", "LoggingMemory",
+    "CAMPAIGN_MEM_WORDS", "GOLDEN_CACHE_ENV", "GoldenTrace", "LoggingMemory",
+    "golden_cache_dir",
     "InjectionEngine",
-    "Shard", "plan_shards", "resolve_workers", "sampling_rng", "schedule_rng",
+    "Shard", "plan_shards", "resolve_chunk", "resolve_workers",
+    "sampling_rng", "schedule_rng",
     "ErrorRecord", "ErrorType", "Fault", "FaultKind", "error_type_of",
     "Spread", "diverged_set_size_ratio", "manifestation_rates",
     "manifestation_times", "mean_detection_time", "overall_manifestation_rate",

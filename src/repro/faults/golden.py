@@ -3,23 +3,41 @@
 The fault-injection engine exploits lockstep symmetry: simulating the
 redundant *fault-free* core is equivalent to replaying a recorded
 fault-free trace.  A golden trace therefore records, for every cycle,
-the output-port vector and the full flip-flop snapshot, plus a memory
-write log — enough to (a) start a faulty core at any cycle, (b) detect
-divergence against the virtual fault-free partner, and (c) detect when
-a transient's effects have been fully masked.
+the compact output-port tuple and the full flip-flop snapshot, plus a
+memory write log — enough to (a) start a faulty core at any cycle,
+(b) detect divergence against the virtual fault-free partner, and
+(c) detect when a transient's effects have been fully masked.
+
+Storage is packed: two numpy matrices (``port_matrix`` and
+``state_matrix``) are the single source of truth; per-cycle Python
+tuple lists are not retained.  ``ports``/``states``/``outputs`` are
+on-demand row accessors that materialise tuples only when indexed.
+``state_hashes`` caches each snapshot tuple's hash so the injection
+engine can gate exact state comparisons behind an integer check.
+
+Traces are also cacheable on disk (``.golden_cache/`` by default, see
+:func:`golden_cache_dir`): an uncompressed ``.npz`` keyed by benchmark,
+stimulus seed, memory size and the campaign schema version, loaded with
+``mmap_mode="r"`` so pool workers share pages instead of re-simulating
+the kernel.  Any validation failure falls back to a fresh simulation.
 """
 
 from __future__ import annotations
 
+import os
+import warnings
 from bisect import bisect_left
+from pathlib import Path
 
 import numpy as np
 
 from ..cpu.assembler import Program, assemble
-from ..cpu.core import Cpu
+from ..cpu.core import NUM_PORTS, Cpu
 from ..cpu.memory import InputStream, Memory
-from ..cpu.units import REG_INDEX
+from ..cpu.units import REG_INDEX, REGISTRY
+from ..lockstep.categories import expand_ports
 from ..workloads.kernels import DEFAULT_SEED, Workload
+from .campaign import CAMPAIGN_SCHEMA_VERSION
 
 #: Memory size used throughout the injection study.  Small enough that
 #: per-experiment memory reconstruction is cheap; large enough for
@@ -30,6 +48,23 @@ CAMPAIGN_MEM_WORDS = 2048
 #: is one full-image copy plus at most this many replayed writes, so a
 #: smaller stride trades checkpoint memory for faster ``memory_at``.
 MEMORY_CHECKPOINT_EVERY = 512
+
+#: Environment variable overriding the golden-trace cache directory.
+#: Unset -> ``.golden_cache``; empty / ``0`` / ``off`` / ``none`` ->
+#: caching disabled.
+GOLDEN_CACHE_ENV = "REPRO_GOLDEN_CACHE"
+
+DEFAULT_GOLDEN_CACHE_DIR = ".golden_cache"
+
+
+def golden_cache_dir() -> Path | None:
+    """Resolve the on-disk golden-trace cache directory (None = off)."""
+    value = os.environ.get(GOLDEN_CACHE_ENV)
+    if value is None:
+        return Path(DEFAULT_GOLDEN_CACHE_DIR)
+    if value.strip().lower() in ("", "0", "off", "none"):
+        return None
+    return Path(value)
 
 
 class LoggingMemory(Memory):
@@ -56,6 +91,41 @@ class LoggingMemory(Memory):
         self.log.append((self.now, idx, word))
 
 
+class _Rows:
+    """Lazy per-cycle view of a packed trace matrix.
+
+    Rows are materialised as tuples of Python ints only when indexed,
+    so holding a trace costs two flat uint64 matrices instead of tens
+    of thousands of tuple objects.  Supports ``len``, integer indexing
+    (including negative) and slicing, like the lists it replaced.
+    """
+
+    __slots__ = ("_matrix",)
+
+    def __init__(self, matrix: np.ndarray):
+        self._matrix = matrix
+
+    def __len__(self) -> int:
+        return len(self._matrix)
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            return [tuple(row) for row in self._matrix[key].tolist()]
+        return tuple(self._matrix[key].tolist())
+
+    def __iter__(self):
+        return iter(self[:])
+
+
+class _ExpandedRows(_Rows):
+    """62-SC view of the packed port matrix, expanded per access."""
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            return [expand_ports(tuple(row)) for row in self._matrix[key].tolist()]
+        return expand_ports(tuple(self._matrix[key].tolist()))
+
+
 class GoldenTrace:
     """Fault-free execution record of one workload kernel.
 
@@ -64,9 +134,20 @@ class GoldenTrace:
         program: its assembled image.
         stimulus: the replicated input stream.
         n_cycles: trace length (cycles until HALT).
-        outputs: per-cycle 62-SC output port vectors.
-        states: per-cycle flip-flop snapshots; ``states[t]`` is the
-            state at the *start* of cycle ``t``.
+        port_matrix: (n_cycles, NUM_PORTS) uint64 matrix of compact
+            output-port tuples (what ``Cpu.step()`` returns).
+        state_matrix: (n_cycles, n_registers) uint64 matrix of flip-flop
+            snapshots; row ``t`` is the state at the *start* of cycle
+            ``t``.  Also used for vectorised stuck-at activation search.
+        state_hashes: per-cycle ``hash()`` of the snapshot tuple, for
+            cheap re-convergence prechecks.
+        ports: lazy per-cycle compact port tuples (rows of
+            ``port_matrix``).
+        states: lazy per-cycle snapshot tuples (rows of
+            ``state_matrix``).
+        outputs: lazy per-cycle 62-SC vectors (``ports`` through
+            :func:`expand_ports`); kept for analysis-side consumers —
+            the per-cycle comparison path never materialises these.
     """
 
     def __init__(self, workload: Workload, seed: int = DEFAULT_SEED,
@@ -82,24 +163,193 @@ class GoldenTrace:
         mem = LoggingMemory(mem_words)
         mem.words[: len(self.program.words)] = self.program.words
         cpu = Cpu(mem, self.stimulus, entry=self.program.entry)
-        outputs: list[tuple[int, ...]] = []
+        ports: list[tuple[int, ...]] = []
         states: list[tuple[int, ...]] = []
         t = 0
         while not cpu.halted and t < max_cycles:
             mem.now = t
             states.append(cpu.snapshot())
-            outputs.append(cpu.step())
+            ports.append(cpu.step())
             t += 1
         if not cpu.halted:
             raise RuntimeError(
                 f"golden run of {workload.name!r} did not halt in {max_cycles} cycles")
         self.n_cycles = t
-        self.outputs = outputs
-        self.states = states
+        self.port_matrix = np.array(ports, dtype=np.uint64).reshape(t, NUM_PORTS)
+        self.state_matrix = np.array(states, dtype=np.uint64).reshape(t, len(REGISTRY))
+        self.state_hashes = np.fromiter(
+            (hash(s) for s in states), dtype=np.int64, count=t)
+        self._port_tuples: list[tuple[int, ...]] | None = ports
+        self._state_hash_list: list[int] | None = None
         self.reindex_write_log(mem.log)
-        #: (n_cycles, n_registers) matrix of register values, used for
-        #: vectorised stuck-at activation search.
-        self.state_matrix = np.array(states, dtype=np.uint64)
+
+    # -- row access ----------------------------------------------------------
+
+    @property
+    def ports(self) -> _Rows:
+        """Lazy per-cycle compact port tuples."""
+        return _Rows(self.port_matrix)
+
+    @property
+    def states(self) -> _Rows:
+        """Lazy per-cycle flip-flop snapshot tuples."""
+        return _Rows(self.state_matrix)
+
+    @property
+    def outputs(self) -> _ExpandedRows:
+        """Lazy per-cycle 62-SC output vectors (expanded on access)."""
+        return _ExpandedRows(self.port_matrix)
+
+    def state_at(self, t: int) -> tuple[int, ...]:
+        """The snapshot tuple at the start of cycle ``t``."""
+        return tuple(self.state_matrix[t].tolist())
+
+    def port_tuples(self) -> list[tuple[int, ...]]:
+        """All compact port tuples, materialised once and cached.
+
+        The injection engine's per-cycle compare indexes this list —
+        one upfront materialisation amortised over thousands of
+        experiments beats per-access row conversion.
+        """
+        tuples = self._port_tuples
+        if tuples is None:
+            tuples = [tuple(row) for row in self.port_matrix.tolist()]
+            self._port_tuples = tuples
+        return tuples
+
+    def state_hash_list(self) -> list[int]:
+        """``state_hashes`` as a plain Python list (cached)."""
+        hashes = self._state_hash_list
+        if hashes is None:
+            hashes = self.state_hashes.tolist()
+            self._state_hash_list = hashes
+        return hashes
+
+    # -- disk cache ----------------------------------------------------------
+
+    @classmethod
+    def cached(cls, workload: Workload, seed: int = DEFAULT_SEED,
+               max_cycles: int = 100_000, mem_words: int = CAMPAIGN_MEM_WORDS,
+               cache_dir: Path | str | None = None) -> "GoldenTrace":
+        """Load the trace from the on-disk cache, simulating on miss.
+
+        ``cache_dir=None`` uses :func:`golden_cache_dir` (which honours
+        ``REPRO_GOLDEN_CACHE``); if caching is disabled this is exactly
+        ``GoldenTrace(workload, seed, ...)``.  Unreadable, stale or
+        mismatching cache files are discarded with a warning and the
+        trace is re-simulated (and the file rewritten).
+        """
+        directory = Path(cache_dir) if cache_dir is not None else golden_cache_dir()
+        if directory is None:
+            return cls(workload, seed, max_cycles, mem_words)
+        path = directory / (
+            f"{workload.name}_s{seed}_m{mem_words}_v{CAMPAIGN_SCHEMA_VERSION}.npz")
+        if path.exists():
+            trace = cls._load_cached(path, workload, seed, mem_words)
+            if trace is not None:
+                return trace
+        trace = cls(workload, seed, max_cycles, mem_words)
+        try:
+            trace.save_cache(path)
+        except OSError as exc:  # e.g. read-only checkout: cache is best-effort
+            warnings.warn(f"could not write golden-trace cache {path}: {exc}",
+                          RuntimeWarning, stacklevel=2)
+        return trace
+
+    def save_cache(self, path: Path) -> None:
+        """Write this trace to ``path`` atomically (uncompressed npz)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta = np.array(
+            [CAMPAIGN_SCHEMA_VERSION, self.n_cycles, self.mem_words,
+             len(REGISTRY), NUM_PORTS, self.seed],
+            dtype=np.int64)
+        write_log = np.array(self.write_log, dtype=np.uint64).reshape(-1, 3)
+        stimulus = np.array(self.stimulus.values, dtype=np.uint64)
+        # pid-unique temp + rename: concurrent pool workers may race to
+        # populate the same entry, and a crash must not leave a torn file.
+        tmp = path.with_name(f"{path.stem}.tmp{os.getpid()}.npz")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, meta=meta, port_matrix=self.port_matrix,
+                         state_matrix=self.state_matrix,
+                         state_hashes=self.state_hashes,
+                         write_log=write_log, stimulus=stimulus)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+    @classmethod
+    def _load_cached(cls, path: Path, workload: Workload, seed: int,
+                     mem_words: int) -> "GoldenTrace | None":
+        """Load and validate a cached trace; None (plus warning) on failure."""
+        program = assemble(workload.source)
+        stimulus_values = workload.stimulus(seed)
+        try:
+            data = np.load(path, mmap_mode="r", allow_pickle=False)
+            meta = data["meta"]
+            if meta.shape != (6,):
+                raise ValueError(f"bad meta shape {meta.shape}")
+            schema, n_cycles, cached_mem, n_regs, n_ports, cached_seed = (
+                int(v) for v in meta)
+            if schema != CAMPAIGN_SCHEMA_VERSION:
+                raise ValueError(f"schema v{schema} != v{CAMPAIGN_SCHEMA_VERSION}")
+            if cached_mem != mem_words or cached_seed != seed:
+                raise ValueError("mem_words/seed mismatch")
+            if n_regs != len(REGISTRY) or n_ports != NUM_PORTS:
+                raise ValueError("register/port schema mismatch")
+            port_matrix = data["port_matrix"]
+            state_matrix = data["state_matrix"]
+            state_hashes = data["state_hashes"]
+            write_log = data["write_log"]
+            stimulus = data["stimulus"]
+            if n_cycles <= 0 or port_matrix.shape != (n_cycles, NUM_PORTS):
+                raise ValueError(f"bad port matrix shape {port_matrix.shape}")
+            if state_matrix.shape != (n_cycles, len(REGISTRY)):
+                raise ValueError(f"bad state matrix shape {state_matrix.shape}")
+            if state_hashes.shape != (n_cycles,):
+                raise ValueError(f"bad hash vector shape {state_hashes.shape}")
+            if write_log.ndim != 2 or write_log.shape[1] != 3:
+                raise ValueError(f"bad write log shape {write_log.shape}")
+            if stimulus.tolist() != list(stimulus_values):
+                raise ValueError("stimulus stream mismatch")
+            trace = cls.__new__(cls)
+            trace.workload = workload
+            trace.seed = seed
+            trace.mem_words = mem_words
+            trace.program = program
+            trace.stimulus = InputStream(stimulus_values)
+            trace._initial_words = [0] * mem_words
+            trace._initial_words[: len(program.words)] = program.words
+            trace.n_cycles = n_cycles
+            trace.port_matrix = port_matrix
+            trace.state_matrix = state_matrix
+            trace.state_hashes = state_hashes
+            trace._port_tuples = None
+            trace._state_hash_list = None
+            trace.reindex_write_log(
+                [tuple(entry) for entry in write_log.tolist()])
+            reset = Cpu(Memory(16), trace.stimulus,
+                        entry=program.entry).snapshot()
+            if trace.state_at(0) != reset:
+                raise ValueError("reset-state row mismatch")
+            # Tuple hashes are process-deterministic but not guaranteed
+            # stable across interpreter builds; stale hashes only cost
+            # performance (exact compares gate every decision), yet a
+            # cheap row-0 probe lets us restore the fast path anyway.
+            if hash(reset) != int(trace.state_hashes[0]):
+                trace.state_hashes = np.fromiter(
+                    (hash(s) for s in trace.states), dtype=np.int64,
+                    count=n_cycles)
+            return trace
+        except Exception as exc:
+            warnings.warn(
+                f"discarding unusable golden-trace cache {path}: {exc}",
+                RuntimeWarning, stacklevel=2)
+            return None
+
+    # -- memory reconstruction & activation search ---------------------------
 
     def reindex_write_log(self, log: list[tuple[int, int, int]]) -> None:
         """Attach ``log`` and rebuild the reconstruction index.

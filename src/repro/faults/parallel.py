@@ -94,17 +94,22 @@ class Shard:
         return (self.bench_idx, self.flop_base)
 
 
-def plan_shards(benchmarks: tuple[str, ...], flops: list[FlopRef],
-                workers: int, chunk_flops: int | None = None) -> list[Shard]:
-    """Split the (benchmark × flop) grid into ordered shards.
+def resolve_chunk(n_flops: int, workers: int, chunk_flops: int | None) -> int:
+    """The planned flops-per-shard chunk size.
 
-    The default chunk size aims at ~4 chunks per worker per benchmark
-    for load balancing; because schedules are keyed per (benchmark,
-    flop), the chunking never affects results, only wall-clock.
+    The default aims at ~4 chunks per worker per benchmark for load
+    balancing; because schedules are keyed per (benchmark, flop), the
+    chunking never affects results, only wall-clock.
     """
     if chunk_flops is None:
-        chunk_flops = max(1, -(-len(flops) // max(1, 4 * workers)))
-    chunk_flops = max(1, int(chunk_flops))
+        chunk_flops = max(1, -(-n_flops // max(1, 4 * workers)))
+    return max(1, int(chunk_flops))
+
+
+def plan_shards(benchmarks: tuple[str, ...], flops: list[FlopRef],
+                workers: int, chunk_flops: int | None = None) -> list[Shard]:
+    """Split the (benchmark × flop) grid into ordered shards."""
+    chunk_flops = resolve_chunk(len(flops), workers, chunk_flops)
     return [
         Shard(b, bench, start, tuple(flops[start:start + chunk_flops]))
         for b, bench in enumerate(benchmarks)
@@ -124,7 +129,9 @@ def _golden_for(benchmark: str, seed: int) -> GoldenTrace:
     key = (benchmark, seed)
     golden = _GOLDEN_CACHE.get(key)
     if golden is None:
-        golden = GoldenTrace(KERNELS[benchmark], seed=seed)
+        # The on-disk cache (see repro.faults.golden) makes a pool
+        # worker's first shard a trace *load* instead of a simulation.
+        golden = GoldenTrace.cached(KERNELS[benchmark], seed=seed)
         _GOLDEN_CACHE[key] = golden
     return golden
 
@@ -171,15 +178,21 @@ def execute_campaign(config, progress: bool = False, workers: int | None = 1,
     for flop in flops:
         sampled[flop.unit] = sampled.get(flop.unit, 0) + 1
 
-    shards = plan_shards(config.benchmarks, flops, workers, chunk_flops)
+    chunk = resolve_chunk(len(flops), workers, chunk_flops)
+    shards = plan_shards(config.benchmarks, flops, workers, chunk)
     start = time.perf_counter()
     outcomes: dict[tuple[int, int], tuple] = {}
+    # Running error total for progress lines — re-summing every shard's
+    # record list on each completion would be O(shards^2).
+    error_count = 0
 
     if workers == 1 or len(shards) == 1:
         for i, shard in enumerate(shards):
-            outcomes[shard.order_key] = run_shard(config, shard)
+            outcome = run_shard(config, shard)
+            outcomes[shard.order_key] = outcome
+            error_count += len(outcome[0])
             if progress:
-                _print_progress(i + 1, shards, outcomes, start)
+                _print_progress(i + 1, len(shards), error_count, start)
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             pending = {pool.submit(run_shard, config, shard): shard
@@ -189,10 +202,13 @@ def execute_campaign(config, progress: bool = False, workers: int | None = 1,
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     shard = pending.pop(future)
-                    outcomes[shard.order_key] = future.result()
+                    outcome = future.result()
+                    outcomes[shard.order_key] = outcome
+                    error_count += len(outcome[0])
                     done_count += 1
                     if progress:
-                        _print_progress(done_count, shards, outcomes, start)
+                        _print_progress(done_count, len(shards), error_count,
+                                        start)
 
     records: list[ErrorRecord] = []
     injected: dict[tuple[str, str], int] = {}
@@ -212,12 +228,11 @@ def execute_campaign(config, progress: bool = False, workers: int | None = 1,
         sampled_flops=sampled,
         wall_seconds=time.perf_counter() - start,
         meta={"workers": workers, "n_shards": len(shards),
-              "chunk_flops": len(shards[0].flops) if shards else 0},
+              "chunk_flops": chunk},
     )
 
 
-def _print_progress(done: int, shards: list[Shard], outcomes: dict, start: float) -> None:
-    errors = sum(len(out[0]) for out in outcomes.values())
+def _print_progress(done: int, n_shards: int, errors: int, start: float) -> None:
     elapsed = time.perf_counter() - start
-    print(f"[campaign] shard {done}/{len(shards)} "
+    print(f"[campaign] shard {done}/{n_shards} "
           f"errors={errors} t={elapsed:.0f}s", flush=True)

@@ -1,21 +1,26 @@
 """Lockstep substrate: signal categories, checkers, DMR/TMR wrappers."""
 
 from .categories import (
+    PORT_FIELDS,
     SC_INDEX,
     SIGNAL_CATEGORIES,
     TOTAL_PORT_SIGNALS,
+    PortField,
     SignalCategory,
+    diverged_ports,
     diverged_set,
     dsr_to_set,
     dsr_value,
+    expand_ports,
 )
 from .checker import CheckerState, LockstepChecker, VotingChecker
 from .dmr import DmrLockstep
 from .tmr import TmrLockstep
 
 __all__ = [
-    "SC_INDEX", "SIGNAL_CATEGORIES", "TOTAL_PORT_SIGNALS", "SignalCategory",
-    "diverged_set", "dsr_to_set", "dsr_value",
+    "PORT_FIELDS", "SC_INDEX", "SIGNAL_CATEGORIES", "TOTAL_PORT_SIGNALS",
+    "PortField", "SignalCategory",
+    "diverged_ports", "diverged_set", "dsr_to_set", "dsr_value", "expand_ports",
     "CheckerState", "LockstepChecker", "VotingChecker",
     "DmrLockstep", "TmrLockstep",
 ]

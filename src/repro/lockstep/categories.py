@@ -9,13 +9,22 @@ categorisation used in the paper.
 
 The order of :data:`SIGNAL_CATEGORIES` matches the tuple returned by
 :meth:`repro.cpu.core.Cpu.outputs`.
+
+Fast path: ``Cpu.step()`` returns the *compact* port tuple (the
+:data:`~repro.cpu.core.NUM_PORTS` underlying interface registers with
+only their SC-visible bits kept).  :func:`expand_ports` maps a compact
+tuple to the canonical 62-SC vector.  Because every signal category is
+a fixed bit field of exactly one compact entry, the expansion is
+injective per entry, so compact-tuple equality is equivalent to
+SC-tuple equality — per-cycle lockstep comparison runs on the compact
+tuples and only a divergence pays for the expansion.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..cpu.core import NUM_SCS
+from ..cpu.core import NUM_PORTS, NUM_SCS
 
 
 @dataclass(frozen=True)
@@ -71,6 +80,103 @@ SC_INDEX: dict[str, int] = {sc.name: i for i, sc in enumerate(SIGNAL_CATEGORIES)
 
 #: Total number of compared output port signals per CPU.
 TOTAL_PORT_SIGNALS: int = sum(sc.width for sc in SIGNAL_CATEGORIES)
+
+
+@dataclass(frozen=True)
+class PortField:
+    """One entry of the compact port tuple (:meth:`Cpu.port_state`).
+
+    Attributes:
+        name: the underlying interface register (or composite event).
+        width: SC-visible bits of the entry.
+        split: bits per signal category the entry expands into (equal
+            to ``width`` when the entry is a single SC).
+    """
+
+    name: str
+    width: int
+    split: int
+
+    @property
+    def n_scs(self) -> int:
+        """Signal categories this entry expands into."""
+        return self.width // self.split
+
+
+#: Layout of the compact port tuple, in tuple order.  Expanding each
+#: entry into ``width // split`` little-endian ``split``-bit fields, in
+#: order, reproduces :data:`SIGNAL_CATEGORIES` exactly.
+PORT_FIELDS: tuple[PortField, ...] = (
+    PortField("imc_addr", 32, 8),
+    PortField("imc_valid", 1, 1),
+    PortField("imc_pred", 1, 1),
+    PortField("dmc_addr", 32, 4),
+    PortField("dmc_wdata", 32, 4),
+    PortField("dmc_ctrl", 4, 4),
+    PortField("dmc_strb", 4, 4),
+    PortField("bus_addr", 32, 8),
+    PortField("bus_data", 32, 4),
+    PortField("bus_ctrl", 4, 4),
+    PortField("io_out", 32, 4),
+    PortField("io_out_v", 1, 1),
+    PortField("ret_pc", 32, 8),
+    PortField("ret_val", 32, 4),
+    PortField("ret_rd", 4, 4),
+    PortField("ret_valid", 1, 1),
+    PortField("ev_sys", 2, 2),   # (status & 1) | (halted << 1)
+    PortField("ev_br", 2, 2),    # br_taken | (br_valid << 1)
+)
+
+assert len(PORT_FIELDS) == NUM_PORTS, "port layout must match CPU port tuple"
+assert sum(f.n_scs for f in PORT_FIELDS) == NUM_SCS, \
+    "port expansion must cover every signal category"
+
+
+def expand_ports(ports: tuple[int, ...]) -> tuple[int, ...]:
+    """Expand a compact port tuple into the canonical 62-SC vector.
+
+    Bit-for-bit identical to :meth:`repro.cpu.core.Cpu.outputs` on the
+    same state (tested property), and injective per entry, so two
+    compact tuples are equal iff their expansions are.  This runs once
+    per detected divergence, not once per cycle.
+    """
+    (ia, iv, ip, da, dw, dc, ds, ba, bd, bc, io, iov,
+     rp, rv, rr, rvld, evs, evb) = ports
+    return (
+        ia & 0xFF, (ia >> 8) & 0xFF, (ia >> 16) & 0xFF, (ia >> 24) & 0xFF,
+        iv,
+        ip,
+        da & 0xF, (da >> 4) & 0xF, (da >> 8) & 0xF, (da >> 12) & 0xF,
+        (da >> 16) & 0xF, (da >> 20) & 0xF, (da >> 24) & 0xF, (da >> 28) & 0xF,
+        dw & 0xF, (dw >> 4) & 0xF, (dw >> 8) & 0xF, (dw >> 12) & 0xF,
+        (dw >> 16) & 0xF, (dw >> 20) & 0xF, (dw >> 24) & 0xF, (dw >> 28) & 0xF,
+        dc,
+        ds,
+        ba & 0xFF, (ba >> 8) & 0xFF, (ba >> 16) & 0xFF, (ba >> 24) & 0xFF,
+        bd & 0xF, (bd >> 4) & 0xF, (bd >> 8) & 0xF, (bd >> 12) & 0xF,
+        (bd >> 16) & 0xF, (bd >> 20) & 0xF, (bd >> 24) & 0xF, (bd >> 28) & 0xF,
+        bc,
+        io & 0xF, (io >> 4) & 0xF, (io >> 8) & 0xF, (io >> 12) & 0xF,
+        (io >> 16) & 0xF, (io >> 20) & 0xF, (io >> 24) & 0xF, (io >> 28) & 0xF,
+        iov,
+        rp & 0xFF, (rp >> 8) & 0xFF, (rp >> 16) & 0xFF, (rp >> 24) & 0xFF,
+        rv & 0xF, (rv >> 4) & 0xF, (rv >> 8) & 0xF, (rv >> 12) & 0xF,
+        (rv >> 16) & 0xF, (rv >> 20) & 0xF, (rv >> 24) & 0xF, (rv >> 28) & 0xF,
+        rr,
+        rvld,
+        evs,
+        evb,
+    )
+
+
+def diverged_ports(ports_a: tuple[int, ...], ports_b: tuple[int, ...]) -> frozenset[int]:
+    """Diverged SC set of two *compact* port tuples.
+
+    Equivalent to ``diverged_set(expand_ports(a), expand_ports(b))`` —
+    the lazy-expansion entry point the injection engine and checkers
+    use at the detection event.
+    """
+    return diverged_set(expand_ports(ports_a), expand_ports(ports_b))
 
 
 def diverged_set(outputs_a: tuple[int, ...], outputs_b: tuple[int, ...]) -> frozenset[int]:

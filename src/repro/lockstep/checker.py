@@ -13,7 +13,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..cpu.core import NUM_SCS
-from .categories import diverged_set, dsr_value
+from .categories import diverged_set, dsr_value, expand_ports
+
+
+def _as_sc_vector(outputs: tuple[int, ...]) -> tuple[int, ...]:
+    """Normalise checker input to the 62-SC vector.
+
+    ``Cpu.step()`` hands the checkers compact port tuples; legacy
+    callers (and the DSR tests) pass 62-SC vectors directly.  Only the
+    divergence path pays for this — the per-cycle equality fast path
+    compares whatever representation arrived, which is sound because
+    compact-tuple equality is equivalent to SC-tuple equality.
+    """
+    if len(outputs) != NUM_SCS:
+        return expand_ports(outputs)
+    return outputs
 
 
 @dataclass
@@ -46,11 +60,18 @@ class LockstepChecker:
         self._cycle = 0
 
     def compare(self, outputs_a: tuple[int, ...], outputs_b: tuple[int, ...]) -> bool:
-        """Compare one cycle's outputs; returns True if an error latched."""
+        """Compare one cycle's outputs; returns True if an error latched.
+
+        Accepts either compact port tuples (what ``Cpu.step()`` returns)
+        or expanded 62-SC vectors; both sides must use the same
+        representation.  Signal categories are only materialised on the
+        cycle the error latches.
+        """
         if self.state.error:
             return True
         if outputs_a != outputs_b:
-            diverged = diverged_set(outputs_a, outputs_b)
+            diverged = diverged_set(_as_sc_vector(outputs_a),
+                                    _as_sc_vector(outputs_b))
             self.state = CheckerState(
                 error=True,
                 error_cycle=self._cycle,
@@ -92,7 +113,13 @@ class VotingChecker:
         return tuple(voted)
 
     def compare(self, outputs: list[tuple[int, ...]]) -> bool:
-        """Compare one cycle across all cores; returns True on error."""
+        """Compare one cycle across all cores; returns True on error.
+
+        Accepts compact port tuples or expanded 62-SC vectors (uniform
+        across cores).  The all-agree fast path never expands; per-SC
+        voting — which must happen at SC granularity, not on the packed
+        port registers — only runs on the error cycle.
+        """
         if self.state.error:
             return True
         if len(outputs) != self.n_cores:
@@ -100,6 +127,7 @@ class VotingChecker:
         if all(o == outputs[0] for o in outputs[1:]):
             self._cycle += 1
             return False
+        outputs = [_as_sc_vector(o) for o in outputs]
         voted = self.vote(outputs)
         erring = None
         worst = -1

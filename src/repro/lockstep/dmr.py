@@ -15,6 +15,7 @@ from __future__ import annotations
 from ..cpu.assembler import Program
 from ..cpu.core import Cpu
 from ..cpu.memory import InputStream, Memory
+from .categories import expand_ports
 from .checker import CheckerState, LockstepChecker
 
 
@@ -32,8 +33,9 @@ class DmrLockstep:
         self.checker = LockstepChecker()
         self.cycle = 0
         self.stopped = False
-        #: The output vectors the checker compared in the error cycle
-        #: (held for the error handler, like frozen checker inputs).
+        #: The 62-SC output vectors of the error cycle (held for the
+        #: error handler, like frozen checker inputs; expanded from the
+        #: compact port tuples only when the error latches).
         self.error_outputs: tuple[tuple[int, ...], tuple[int, ...]] | None = None
 
     @property
@@ -59,7 +61,7 @@ class DmrLockstep:
         self.cycle += 1
         if self.checker.compare(out_a, out_b):
             self.stopped = True
-            self.error_outputs = (out_a, out_b)
+            self.error_outputs = (expand_ports(out_a), expand_ports(out_b))
             return True
         return False
 

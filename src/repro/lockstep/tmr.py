@@ -36,7 +36,12 @@ class TmrLockstep:
         return self.checker.state
 
     def step(self) -> bool:
-        """Advance one lockstep cycle; returns True once an error latches."""
+        """Advance one lockstep cycle; returns True once an error latches.
+
+        The voter's agreement fast path runs on the compact port tuples
+        ``step()`` returns; per-SC majority voting happens only on the
+        error cycle, after lazy expansion inside the checker.
+        """
         if self.stopped:
             return self.checker.state.error
         outs = [core.step() for core in self.cores]

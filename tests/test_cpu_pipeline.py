@@ -5,6 +5,7 @@ from hypothesis import strategies as st
 
 from repro.cpu import Cpu, InputStream, Memory, NUM_SCS, REGISTRY, assemble
 from repro.cpu.units import REG_INDEX
+from repro.lockstep.categories import expand_ports
 from tests.conftest import PROLOGUE, SUM_LOOP, make_cpu
 
 
@@ -70,9 +71,11 @@ class TestOutputs:
         assert sum_cpu.outputs() != first
 
     def test_step_returns_pre_step_outputs(self, sum_cpu):
-        before = sum_cpu.outputs()
+        before_ports = sum_cpu.port_state()
+        before_scs = sum_cpu.outputs()
         returned = sum_cpu.step()
-        assert returned == before
+        assert returned == before_ports
+        assert expand_ports(returned) == before_scs
 
 
 class TestBtb:

@@ -5,22 +5,33 @@ import pytest
 from repro.cpu import Cpu, Memory
 from repro.cpu.units import REG_INDEX
 from repro.faults import GoldenTrace
+from repro.lockstep.categories import expand_ports
 from repro.workloads import KERNELS
 
 
 class TestTrace:
     def test_lengths_consistent(self, ttsprk_golden):
         g = ttsprk_golden
-        assert g.n_cycles == len(g.outputs) == len(g.states)
+        assert g.n_cycles == len(g.outputs) == len(g.states) == len(g.ports)
         assert g.state_matrix.shape == (g.n_cycles, len(g.states[0]))
+        assert g.port_matrix.shape == (g.n_cycles, len(g.ports[0]))
+        assert g.state_hashes.shape == (g.n_cycles,)
 
     def test_states_record_pre_step_state(self, ttsprk_golden):
         g = ttsprk_golden
         cpu = Cpu(g.memory_at(0), g.stimulus, entry=g.program.entry)
         assert cpu.snapshot() == g.states[0]
         out = cpu.step()
-        assert out == g.outputs[0]
+        assert out == g.ports[0]
+        assert expand_ports(out) == g.outputs[0]
         assert cpu.snapshot() == g.states[1]
+
+    def test_row_accessors_match_matrices(self, ttsprk_golden):
+        g = ttsprk_golden
+        assert g.states[-1] == tuple(g.state_matrix[-1].tolist())
+        assert g.ports[3:5] == [g.ports[3], g.ports[4]]
+        assert g.port_tuples()[:10] == g.ports[:10]
+        assert g.state_hash_list()[7] == hash(g.state_at(7))
 
     def test_replay_matches_trace_everywhere(self, ttsprk_golden):
         g = ttsprk_golden

@@ -1,0 +1,147 @@
+"""On-disk golden-trace cache tests.
+
+The cache must be invisible: a loaded trace behaves identically to a
+freshly simulated one (same matrices, write log, stimulus and injection
+verdicts), and any unreadable / stale / mismatching file is discarded
+with a warning and replaced by a fresh simulation — never propagated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cpu.units import FlopRef
+from repro.faults.campaign import CAMPAIGN_SCHEMA_VERSION
+from repro.faults.golden import (
+    CAMPAIGN_MEM_WORDS,
+    DEFAULT_GOLDEN_CACHE_DIR,
+    GOLDEN_CACHE_ENV,
+    GoldenTrace,
+    golden_cache_dir,
+)
+from repro.faults.injector import InjectionEngine
+from repro.faults.models import Fault, FaultKind
+from repro.workloads import KERNELS
+
+
+WORKLOAD = KERNELS["ttsprk"]
+
+
+def _cache_path(tmp_path):
+    files = sorted(tmp_path.glob("*.npz"))
+    assert len(files) == 1
+    return files[0]
+
+
+class TestRoundTrip:
+    def test_miss_then_hit_is_equal(self, tmp_path):
+        fresh = GoldenTrace.cached(WORKLOAD, cache_dir=tmp_path)
+        path = _cache_path(tmp_path)
+        loaded = GoldenTrace.cached(WORKLOAD, cache_dir=tmp_path)
+        assert loaded.n_cycles == fresh.n_cycles
+        assert np.array_equal(loaded.port_matrix, fresh.port_matrix)
+        assert np.array_equal(loaded.state_matrix, fresh.state_matrix)
+        assert loaded.port_tuples() == fresh.port_tuples()
+        assert loaded.state_hash_list() == fresh.state_hash_list()
+        assert loaded.write_log == fresh.write_log
+        assert loaded.stimulus.values == fresh.stimulus.values
+        assert loaded.program.words == fresh.program.words
+        assert loaded.memory_at(fresh.n_cycles).words == \
+            fresh.memory_at(fresh.n_cycles).words
+        assert path.exists()
+
+    def test_cached_trace_gives_identical_injection_verdicts(self, tmp_path):
+        fresh = GoldenTrace(WORKLOAD)
+        GoldenTrace.cached(WORKLOAD, cache_dir=tmp_path)  # populate
+        loaded = GoldenTrace.cached(WORKLOAD, cache_dir=tmp_path)
+        eng_a = InjectionEngine(fresh, max_observe=400)
+        eng_b = InjectionEngine(loaded, max_observe=400)
+        faults = [
+            Fault(FlopRef("imc_addr", 3), FaultKind.SOFT, 100),
+            Fault(FlopRef("pc", 2), FaultKind.STUCK1, 50),
+            Fault(FlopRef("rf7", 31), FaultKind.SOFT, 700),
+            Fault(FlopRef("cyc", 0), FaultKind.STUCK0, 10),
+            Fault(FlopRef("mpu_ctrl", 0), FaultKind.STUCK0, 0),
+        ]
+        for fault in faults:
+            assert eng_a.inject(fault) == eng_b.inject(fault), fault
+
+    def test_seed_and_mem_words_key_separate_entries(self, tmp_path):
+        GoldenTrace.cached(WORKLOAD, cache_dir=tmp_path)
+        GoldenTrace.cached(WORKLOAD, seed=999, cache_dir=tmp_path)
+        GoldenTrace.cached(WORKLOAD, mem_words=4096, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.npz"))) == 3
+
+
+class TestFallback:
+    def test_corrupt_file_warns_resimulates_and_replaces(self, tmp_path):
+        fresh = GoldenTrace.cached(WORKLOAD, cache_dir=tmp_path)
+        path = _cache_path(tmp_path)
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.warns(RuntimeWarning, match="discarding unusable"):
+            recovered = GoldenTrace.cached(WORKLOAD, cache_dir=tmp_path)
+        assert np.array_equal(recovered.port_matrix, fresh.port_matrix)
+        # the bad file was overwritten with a valid one
+        reloaded = GoldenTrace._load_cached(path, WORKLOAD,
+                                            fresh.seed, fresh.mem_words)
+        assert reloaded is not None
+        assert np.array_equal(reloaded.state_matrix, fresh.state_matrix)
+
+    def test_stale_schema_version_is_discarded(self, tmp_path):
+        GoldenTrace.cached(WORKLOAD, cache_dir=tmp_path)
+        path = _cache_path(tmp_path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["meta"] = data["meta"].copy()
+        data["meta"][0] = CAMPAIGN_SCHEMA_VERSION + 1
+        with open(path, "wb") as fh:
+            np.savez(fh, **data)
+        with pytest.warns(RuntimeWarning, match="schema"):
+            trace = GoldenTrace._load_cached(path, WORKLOAD, 1234,
+                                             CAMPAIGN_MEM_WORDS)
+        assert trace is None
+
+    def test_truncated_matrix_is_discarded(self, tmp_path):
+        fresh = GoldenTrace.cached(WORKLOAD, cache_dir=tmp_path)
+        path = _cache_path(tmp_path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["state_matrix"] = data["state_matrix"][:10]
+        with open(path, "wb") as fh:
+            np.savez(fh, **data)
+        with pytest.warns(RuntimeWarning, match="discarding unusable"):
+            trace = GoldenTrace._load_cached(path, WORKLOAD, fresh.seed,
+                                             fresh.mem_words)
+        assert trace is None
+
+    def test_stimulus_mismatch_is_discarded(self, tmp_path):
+        fresh = GoldenTrace.cached(WORKLOAD, cache_dir=tmp_path)
+        path = _cache_path(tmp_path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["stimulus"] = data["stimulus"].copy()
+        data["stimulus"][0] += 1
+        with open(path, "wb") as fh:
+            np.savez(fh, **data)
+        with pytest.warns(RuntimeWarning, match="stimulus"):
+            trace = GoldenTrace._load_cached(path, WORKLOAD, fresh.seed,
+                                             fresh.mem_words)
+        assert trace is None
+
+
+class TestCacheDirResolution:
+    def test_default_directory(self, monkeypatch):
+        monkeypatch.delenv(GOLDEN_CACHE_ENV, raising=False)
+        assert str(golden_cache_dir()) == DEFAULT_GOLDEN_CACHE_DIR
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "NONE"])
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(GOLDEN_CACHE_ENV, value)
+        assert golden_cache_dir() is None
+
+    def test_override_directory(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(GOLDEN_CACHE_ENV, str(tmp_path / "traces"))
+        assert golden_cache_dir() == tmp_path / "traces"
+
+    def test_disabled_cache_writes_nothing(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(GOLDEN_CACHE_ENV, "off")
+        monkeypatch.chdir(tmp_path)
+        trace = GoldenTrace.cached(WORKLOAD)
+        assert trace.n_cycles > 0
+        assert not (tmp_path / DEFAULT_GOLDEN_CACHE_DIR).exists()

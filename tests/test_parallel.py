@@ -100,6 +100,14 @@ class TestDeterminism:
         assert result.meta["chunk_flops"] == 50
         assert result.meta["n_shards"] >= 1
 
+    def test_meta_records_planned_chunk_not_first_shard_len(self):
+        """chunk_flops must report the planned chunk size even when the
+        sampled flop list is shorter than (or not a multiple of) it."""
+        result = run_campaign(CampaignConfig.quick(), workers=1,
+                              chunk_flops=1000)
+        assert result.meta["chunk_flops"] == 1000
+        assert result.meta["n_shards"] == len(CampaignConfig.quick().benchmarks)
+
 
 class TestCacheHardening:
     def test_corrupt_cache_falls_back_to_fresh_run(self, tmp_path):

@@ -1,0 +1,112 @@
+"""Compact port tuple <-> 62-SC boundary equivalence.
+
+The per-cycle lockstep fast path compares the compact port tuples that
+``Cpu.step()`` returns; the refactor is sound only if (a) expanding the
+compact tuple reproduces the eager 62-SC vector bit for bit, and
+(b) compact-tuple equality is equivalent to SC-tuple equality.  These
+properties are exercised over randomised flip-flop states constrained
+to each register's declared width.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import Cpu, InputStream, Memory, NUM_PORTS, NUM_SCS, REGISTRY
+from repro.lockstep.categories import (
+    PORT_FIELDS,
+    SIGNAL_CATEGORIES,
+    diverged_ports,
+    diverged_set,
+    expand_ports,
+)
+
+
+def _fresh_cpu() -> Cpu:
+    return Cpu(Memory(16), InputStream())
+
+
+#: A full random flip-flop state, each register within its width.
+state_strategy = st.tuples(
+    *(st.integers(0, (1 << spec.width) - 1) for spec in REGISTRY))
+
+
+class TestExpansionMatchesEagerOutputs:
+    @given(state=state_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_expand_port_state_equals_outputs(self, state):
+        cpu = _fresh_cpu()
+        cpu.restore(state)
+        assert expand_ports(cpu.port_state()) == cpu.outputs()
+
+    def test_matches_along_a_real_execution(self, sum_cpu):
+        for _ in range(300):
+            before = sum_cpu.outputs()
+            returned = sum_cpu.step()
+            assert len(returned) == NUM_PORTS
+            assert expand_ports(returned) == before
+
+    def test_expanded_width_and_ranges(self):
+        cpu = _fresh_cpu()
+        cpu.restore(tuple((1 << spec.width) - 1 for spec in REGISTRY))
+        expanded = expand_ports(cpu.port_state())
+        assert len(expanded) == NUM_SCS
+        for value, sc in zip(expanded, SIGNAL_CATEGORIES):
+            assert 0 <= value < (1 << sc.width), sc.name
+
+
+class TestEqualityEquivalence:
+    @given(state_a=state_strategy, state_b=state_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_compact_equality_iff_sc_equality(self, state_a, state_b):
+        cpu = _fresh_cpu()
+        cpu.restore(state_a)
+        ports_a, scs_a = cpu.port_state(), cpu.outputs()
+        cpu.restore(state_b)
+        ports_b, scs_b = cpu.port_state(), cpu.outputs()
+        assert (ports_a == ports_b) == (scs_a == scs_b)
+        assert diverged_ports(ports_a, ports_b) == diverged_set(scs_a, scs_b)
+
+    def test_single_visible_bit_flips_diverge_both_ways(self):
+        """Flipping any SC-visible flop diverges both representations."""
+        rnd = random.Random(7)
+        visible = {"imc_addr", "imc_valid", "imc_pred", "dmc_addr",
+                   "dmc_wdata", "dmc_ctrl", "dmc_strb", "bus_addr",
+                   "bus_data", "bus_ctrl", "io_out", "io_out_v", "ret_pc",
+                   "ret_val", "ret_rd", "ret_valid", "halted", "br_taken",
+                   "br_valid"} | {"status"}
+        cpu = _fresh_cpu()
+        for trial in range(200):
+            state = tuple(rnd.randrange(1 << spec.width) for spec in REGISTRY)
+            idx, spec = rnd.choice(
+                [(i, s) for i, s in enumerate(REGISTRY) if s.name in visible])
+            bit = 0 if spec.name == "status" else rnd.randrange(spec.width)
+            flipped = list(state)
+            flipped[idx] ^= 1 << bit
+            cpu.restore(state)
+            ports_a, scs_a = cpu.port_state(), cpu.outputs()
+            cpu.restore(tuple(flipped))
+            ports_b, scs_b = cpu.port_state(), cpu.outputs()
+            assert ports_a != ports_b, spec.name
+            assert scs_a != scs_b, spec.name
+
+
+class TestPortFieldMetadata:
+    def test_layout_covers_signal_categories(self):
+        assert len(PORT_FIELDS) == NUM_PORTS
+        widths = [f.split for f in PORT_FIELDS for _ in range(f.n_scs)]
+        assert widths == [sc.width for sc in SIGNAL_CATEGORIES]
+
+    def test_generic_expansion_matches_hand_unrolled(self):
+        """expand_ports is a hand-unrolled copy of the PORT_FIELDS
+        layout; a generic interpreter of the metadata must agree."""
+        rnd = random.Random(11)
+        for _ in range(50):
+            ports = tuple(rnd.randrange(1 << f.width) for f in PORT_FIELDS)
+            generic = tuple(
+                (value >> (f.split * k)) & ((1 << f.split) - 1)
+                for f, value in zip(PORT_FIELDS, ports)
+                for k in range(f.n_scs)
+            )
+            assert expand_ports(ports) == generic
