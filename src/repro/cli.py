@@ -9,6 +9,8 @@ Commands:
 * ``figures``   — ASCII charts of Figures 11-16.
 * ``overhead``  — the Table IV area/power model.
 * ``run``       — execute one workload kernel and print its outputs.
+* ``fuzz``      — differential co-simulation fuzz of the pipeline
+  against the ISA reference model (mismatches shrink to ``.s`` repros).
 * ``disasm``    — disassemble a workload kernel.
 * ``kernels``   — list the available workloads.
 """
@@ -97,6 +99,37 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.outputs == reference else 1
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .verify import run_fuzz
+
+    report = run_fuzz(
+        programs=args.programs,
+        seed=args.seed,
+        max_cycles=args.max_cycles,
+        do_shrink=not args.no_shrink,
+        artifacts_dir=args.artifacts,
+        progress=True,
+    )
+    print(report.coverage.report())
+    print(f"wall time: {report.wall_seconds:.1f}s"
+          + (f"  (hung both: {report.hung_both})" if report.hung_both else "")
+          + (f"  (unsupported: {report.unsupported})"
+             if report.unsupported else ""))
+    if report.failures:
+        print(f"\n{len(report.failures)} MISMATCH(ES):")
+        for failure in report.failures:
+            print(f"  seed {failure.seed!r} "
+                  f"({failure.instructions} instructions"
+                  + (f", artifact {failure.artifact}" if failure.artifact
+                     else "") + ")")
+            for mismatch in failure.mismatches:
+                print(f"    {mismatch}")
+        return 1
+    print(f"OK: {report.programs} programs, zero pipeline-vs-reference "
+          f"mismatches")
+    return 0
+
+
 def cmd_disasm(args: argparse.Namespace) -> int:
     from .cpu.assembler import assemble
     from .cpu.disassembler import disassemble
@@ -147,6 +180,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("kernel", choices=sorted(KERNELS))
     p.add_argument("--seed", type=int, default=20180615)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "fuzz", help="differential co-simulation fuzz vs the ISA model")
+    p.add_argument("--programs", type=int, default=200, metavar="N",
+                   help="number of random programs to co-simulate")
+    p.add_argument("--seed", type=int, default=0,
+                   help="session seed (program i derives from 'seed:i')")
+    p.add_argument("--max-cycles", type=int, default=30_000, metavar="C",
+                   help="pipeline cycle budget per program")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip delta-debugging of mismatching programs")
+    p.add_argument("--artifacts", default="fuzz_artifacts", metavar="DIR",
+                   help="directory for shrunken .s failure artifacts")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("disasm", help="disassemble a workload kernel")
     p.add_argument("kernel", choices=sorted(KERNELS))

@@ -113,6 +113,10 @@ class Cpu:
         self.mem = memory
         self.stim = stimulus if stimulus is not None else InputStream()
         self.rf0 = 0  # hardwired zero, not a flip-flop
+        #: Optional observer called as ``hook(pc, value, rd, wen)`` once
+        #: per retired instruction (mirrors the ret_* trace port).  Not
+        #: part of the flip-flop state: survives reset/snapshot/restore.
+        self.retire_hook = None
         self.reset(entry)
 
     def reset(self, entry: int = 0) -> None:
@@ -202,6 +206,40 @@ class Cpu:
             (d["status"] & 1) | (d["halted"] << 1),
             d["br_taken"] | (d["br_valid"] << 1),
         )
+
+    def arch_state(self) -> dict[str, int]:
+        """The ISA-visible architectural state, keyed by ISA-level names.
+
+        Used by the differential co-simulation layer
+        (:mod:`repro.verify`) to compare the pipeline against the
+        single-step reference model: architectural registers, flags,
+        every software-writable CSR, the replicated-input cursor and
+        the halt flag.  Deliberately excludes anything
+        microarchitectural or timing-dependent (``pc`` fetch-ahead
+        state, pipeline latches, BTB, interface registers, ``cyc``).
+        """
+        d = self.__dict__
+        state = {f"r{i}": d[f"rf{i}"] for i in range(1, 16)}
+        for key in ("flags", "sflags", "status", "cause", "epc", "scratch",
+                    "cnt_branch", "cnt_mem", "dbg_bkpt0", "dbg_bkpt1",
+                    "dbg_watch0", "dbg_ctrl", "irq_mask", "irq_pending",
+                    "mpu_ctrl", "io_in", "io_in_idx", "halted"):
+            state[key] = d[key]
+        for i in range(4):
+            state[f"mpu_base{i}"] = d[_MPU_BASE[i]]
+            state[f"mpu_limit{i}"] = d[_MPU_LIMIT[i]]
+        return state
+
+    def pending_store(self) -> tuple[int, int, bool] | None:
+        """The undrained store-buffer entry, or None.
+
+        A store retired just before HALT stays in the one-entry store
+        buffer forever; the *effective* architectural memory image is
+        the shared memory with this write applied.
+        """
+        if self.sb_valid:
+            return (self.sb_addr, self.sb_data, bool(self.sb_op))
+        return None
 
     # -- one clock cycle -----------------------------------------------------
 
@@ -326,6 +364,9 @@ class Cpu:
             d["ret_val"] = value
             d["ret_rd"] = d["mw_rd"]
             d["ret_valid"] = 1
+            hook = d["retire_hook"]
+            if hook is not None:
+                hook(d["mw_pc"], value, d["mw_rd"], d["mw_wen"])
         else:
             d["ret_valid"] = 0
 

@@ -1,0 +1,44 @@
+"""Differential verification of the SR5 pipeline against an ISA model.
+
+The correctness safety net under every campaign number: a single-step
+architectural reference model (:mod:`refmodel`), a constrained-random
+hazard-stressing program generator (:mod:`progen`), a co-simulation
+driver with a delta-debugging shrinker (:mod:`diff`) and session
+coverage accounting (:mod:`coverage`).  Entry points::
+
+    python -m repro fuzz --programs 2000 --seed 0
+
+    from repro.verify import cosim, generate_program
+    assert cosim(generate_program(42)).ok
+"""
+
+from .coverage import REQUIRED_EVENT_BINS, Coverage
+from .diff import (
+    DEFAULT_MAX_CYCLES,
+    CosimResult,
+    FuzzFailure,
+    FuzzReport,
+    Mismatch,
+    cosim,
+    run_fuzz,
+    shrink,
+)
+from .progen import (
+    DATA_BASE,
+    FUZZ_MEM_WORDS,
+    Block,
+    FuzzProgram,
+    Line,
+    generate_program,
+    program_strategy,
+)
+from .refmodel import RefModel, cause_name
+
+__all__ = [
+    "REQUIRED_EVENT_BINS", "Coverage",
+    "DEFAULT_MAX_CYCLES", "CosimResult", "FuzzFailure", "FuzzReport",
+    "Mismatch", "cosim", "run_fuzz", "shrink",
+    "DATA_BASE", "FUZZ_MEM_WORDS", "Block", "FuzzProgram", "Line",
+    "generate_program", "program_strategy",
+    "RefModel", "cause_name",
+]

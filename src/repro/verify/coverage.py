@@ -1,0 +1,154 @@
+"""Fuzz-session coverage: opcodes, pipeline events, flop toggles.
+
+Three complementary coverage taxonomies accumulate across a session:
+
+* **Opcode coverage** — which of the ISA's opcodes were architecturally
+  executed (from the reference model's retire stream, so wrong-path and
+  squashed instructions don't count);
+* **Pipeline-event coverage** — microarchitectural mechanisms observed
+  on the pipeline itself: redirect flushes, MUL stall cycles,
+  store-buffer drains, BTB-predicted vs plain fetches, taken/not-taken
+  branch outcomes and each exception cause the generator can provoke;
+* **Flop-toggle coverage** — per-unit fraction of flip-flop bits seen
+  at both 0 and 1.  State snapshots are sampled every
+  ``toggle_stride`` cycles (exact per-cycle XOR would double simulator
+  cost for a metric that saturates anyway), folding each sample into
+  running OR/AND accumulators: a bit toggles iff ``or & ~and``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..cpu.isa import Op
+from ..cpu.units import REGISTRY, coarse_unit
+from .refmodel import RefModel, cause_name
+
+#: Event bins the constrained-random generator is designed to hit; a
+#: healthy fuzz session of a couple hundred programs fills every one.
+REQUIRED_EVENT_BINS: tuple[str, ...] = (
+    "flush", "stall", "sb_drain", "btb_hit", "btb_miss",
+    "branch_taken", "branch_not_taken",
+    "exc_IRQ", "exc_BKPT", "exc_WATCH", "exc_MPU",
+)
+
+
+class Coverage:
+    """Accumulates coverage across co-simulated programs."""
+
+    def __init__(self, toggle_stride: int = 8):
+        self.opcodes: Counter = Counter()
+        self.events: Counter = Counter()
+        self.programs = 0
+        self.cycles = 0
+        self.steps = 0
+        self._stride = max(1, toggle_stride)
+        self._tick = 0
+        self._or: list[int] | None = None
+        self._and: list[int] | None = None
+
+    # -- per-cycle pipeline observation ----------------------------------
+
+    def note_cycle(self, cpu) -> None:
+        """Observe one post-``step()`` pipeline state (hot path)."""
+        d = cpu.__dict__
+        ev = self.events
+        if d["mul_pending"]:
+            ev["stall"] += 1
+        if d["dmc_ctrl"] & 2:
+            ev["sb_drain"] += 1
+        if d["imc_valid"]:
+            if d["imc_pred"]:
+                ev["btb_hit"] += 1
+            else:
+                ev["btb_miss"] += 1
+        elif not d["halted"]:
+            # Fetch is only ever invalid mid-run on a redirect: branch
+            # mispredict, stale-BTB correction or exception vectoring.
+            ev["flush"] += 1
+        self._tick += 1
+        if not self._tick % self._stride:
+            self._fold(cpu.snapshot())
+
+    def _fold(self, snap: tuple[int, ...]) -> None:
+        acc_or = self._or
+        if acc_or is None:
+            self._or = list(snap)
+            self._and = list(snap)
+            return
+        acc_and = self._and
+        for i, value in enumerate(snap):
+            acc_or[i] |= value
+            acc_and[i] &= value
+
+    # -- per-program architectural observation ---------------------------
+
+    def note_program(self, ref: RefModel, cycles: int) -> None:
+        """Fold one finished program's reference-model statistics in."""
+        self.programs += 1
+        self.cycles += cycles
+        self.steps += ref.n_steps
+        self.opcodes.update(ref.executed)
+        self.events["branch_taken"] += ref.branches_taken
+        self.events["branch_not_taken"] += ref.branches_not_taken
+        for code, count in ref.traps.items():
+            self.events[f"exc_{cause_name(code)}"] += count
+
+    # -- queries ---------------------------------------------------------
+
+    def opcode_coverage(self) -> tuple[set[Op], set[Op], float]:
+        """``(covered, missing, fraction)`` over the full opcode space."""
+        covered = {op for op in Op if self.opcodes.get(int(op))}
+        missing = set(Op) - covered
+        return covered, missing, len(covered) / len(Op)
+
+    def event_bins(self) -> dict[str, int]:
+        """Counts for every required pipeline-event bin (zeros kept)."""
+        return {name: self.events.get(name, 0) for name in REQUIRED_EVENT_BINS}
+
+    def toggle_by_unit(self) -> dict[str, tuple[int, int]]:
+        """Coarse unit -> ``(toggled_flops, total_flops)``."""
+        out: dict[str, list[int]] = {}
+        acc_or, acc_and = self._or, self._and
+        for i, spec in enumerate(REGISTRY):
+            unit = coarse_unit(spec.unit)
+            entry = out.setdefault(unit, [0, 0])
+            entry[1] += spec.width
+            if acc_or is not None:
+                mask = (1 << spec.width) - 1
+                entry[0] += ((acc_or[i] & ~acc_and[i]) & mask).bit_count()
+        return {unit: (t, n) for unit, (t, n) in out.items()}
+
+    # -- reporting -------------------------------------------------------
+
+    def report(self) -> str:
+        """Human-readable end-of-session coverage summary."""
+        covered, missing, frac = self.opcode_coverage()
+        lines = [
+            "== fuzz coverage ==",
+            f"programs: {self.programs}  pipeline cycles: {self.cycles}  "
+            f"instructions: {self.steps}",
+            f"opcodes: {len(covered)}/{len(Op)} ({100 * frac:.1f}%)"
+            + (f"  missing: {sorted(op.name for op in missing)}" if missing else ""),
+            "pipeline events:",
+        ]
+        bins = self.event_bins()
+        lines.append("  " + "  ".join(
+            f"{name}={bins[name]}"
+            for name in ("flush", "stall", "sb_drain", "btb_hit", "btb_miss")))
+        lines.append("  " + "  ".join(
+            f"{name}={bins[name]}"
+            for name in ("branch_taken", "branch_not_taken")))
+        lines.append("  " + "  ".join(
+            f"{name}={bins[name]}"
+            for name in ("exc_IRQ", "exc_BKPT", "exc_WATCH", "exc_MPU")))
+        toggles = self.toggle_by_unit()
+        total_t = sum(t for t, _ in toggles.values())
+        total_n = sum(n for _, n in toggles.values())
+        per_unit = "  ".join(f"{unit}={t}/{n}"
+                             for unit, (t, n) in sorted(toggles.items()))
+        lines.append(f"flop toggles (sampled /{self._stride} cycles): "
+                     f"{total_t}/{total_n} "
+                     f"({100 * total_t / max(total_n, 1):.1f}%)")
+        lines.append("  " + per_unit)
+        return "\n".join(lines)

@@ -1,0 +1,393 @@
+"""Differential co-simulation of the pipeline against the ISA model.
+
+:func:`cosim` runs the flip-flop-accurate :class:`repro.cpu.core.Cpu`
+and the architectural :class:`repro.verify.refmodel.RefModel` on an
+identical program + replicated stimulus and compares everything the
+ISA contract defines:
+
+* termination (both halt, or both exceed the cycle budget);
+* the ordered OUT-port value stream (strobe-sampled on the pipeline);
+* the retire stream ``(pc, value, rd, wen)`` — instruction-by-
+  instruction, so a divergence is pinned to the *first* architectural
+  commit that differs, not discovered thousands of cycles later;
+* the final architectural state (registers, flags, CSRs);
+* the final memory image (the pipeline side is viewed through its
+  undrained store-buffer entry, the one architectural commit HALT can
+  strand in flight).
+
+:func:`shrink` is a delta-debugging (ddmin) minimizer over the
+generator's removable structure: whole blocks first, then individual
+lines, then a trap-handler stub substitution — yielding a minimal
+``.s`` repro for any mismatch.  :func:`run_fuzz` drives a whole
+session and dumps shrunken artifacts to disk.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from ..cpu.assembler import AssemblerError, assemble
+from ..cpu.core import Cpu
+from ..cpu.isa import EncodingError
+from ..cpu.memory import InputStream, Memory
+from .coverage import Coverage
+from .progen import FUZZ_MEM_WORDS, FuzzProgram, generate_program
+from .refmodel import RefModel
+
+#: Default pipeline cycle budget per program.  Generated programs
+#: retire well under a quarter of this, so a pipeline that reaches the
+#: budget while the reference model halts is a genuine liveness bug.
+DEFAULT_MAX_CYCLES = 30_000
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One pipeline-vs-reference divergence."""
+
+    kind: str      # "halt" | "out-stream" | "retire" | "arch-state" | "memory"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+@dataclass
+class CosimResult:
+    """Outcome of one differential run."""
+
+    cycles: int
+    steps: int
+    mismatches: list[Mismatch] = field(default_factory=list)
+    hung_both: bool = False
+    #: The program read the timing-dependent cycle CSR, which the
+    #: reference model cannot predict; comparison was skipped.
+    unsupported: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def _first_diff(a, b) -> int:
+    """Index of the first differing element (or the shorter length)."""
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return i
+    return min(len(a), len(b))
+
+
+def cosim(prog: FuzzProgram | str, stimulus: list[int] | None = None, *,
+          max_cycles: int = DEFAULT_MAX_CYCLES,
+          mem_words: int = FUZZ_MEM_WORDS,
+          coverage: Coverage | None = None,
+          excluded: frozenset = frozenset()) -> CosimResult:
+    """Co-simulate one program; returns the comparison verdict.
+
+    ``prog`` is a :class:`FuzzProgram` (its stimulus is used unless one
+    is passed explicitly) or raw assembly source plus ``stimulus``.
+    Raises :class:`repro.cpu.assembler.AssemblerError` on bad source.
+    """
+    if isinstance(prog, FuzzProgram):
+        source = prog.source(excluded)
+        if stimulus is None:
+            stimulus = prog.stimulus
+    else:
+        source = prog
+    program = assemble(source)
+    stim = InputStream(stimulus or [0])
+
+    cpu = Cpu(Memory.from_program(program, size_words=mem_words), stim,
+              entry=program.entry)
+    ref = RefModel(Memory.from_program(program, size_words=mem_words), stim,
+                   entry=program.entry)
+
+    pipe_retires: list[tuple[int, int, int, int]] = []
+    cpu.retire_hook = lambda pc, val, rd, wen: \
+        pipe_retires.append((pc, val, rd, wen))
+
+    pipe_outputs: list[int] = []
+    prev_strobe = cpu.io_out_v
+    cycles = 0
+    step = cpu.step
+    if coverage is not None:
+        note = coverage.note_cycle
+        while not cpu.halted and cycles < max_cycles:
+            step()
+            cycles += 1
+            note(cpu)
+            if cpu.io_out_v != prev_strobe:
+                pipe_outputs.append(cpu.io_out)
+                prev_strobe = cpu.io_out_v
+    else:
+        while not cpu.halted and cycles < max_cycles:
+            step()
+            cycles += 1
+            if cpu.io_out_v != prev_strobe:
+                pipe_outputs.append(cpu.io_out)
+                prev_strobe = cpu.io_out_v
+
+    # Every architectural step occupies >= 1 pipeline cycle, so the
+    # same budget can never starve the reference model first.
+    ref.run(max_steps=max_cycles)
+    if coverage is not None:
+        coverage.note_program(ref, cycles)
+
+    result = CosimResult(cycles=cycles, steps=ref.n_steps)
+    if ref.timing_csr_reads:
+        result.unsupported = True
+        return result
+
+    if not cpu.halted or not ref.halted:
+        if not cpu.halted and not ref.halted:
+            result.hung_both = True     # same non-termination: no verdict
+            return result
+        result.mismatches.append(Mismatch(
+            "halt",
+            f"pipeline halted={bool(cpu.halted)} after {cycles} cycles, "
+            f"reference halted={ref.halted} after {ref.n_steps} steps"))
+        return result
+
+    mm = result.mismatches
+    if pipe_outputs != ref.outputs:
+        i = _first_diff(pipe_outputs, ref.outputs)
+        mm.append(Mismatch(
+            "out-stream",
+            f"OUT #{i}: pipeline {pipe_outputs[i:i + 3]}... vs "
+            f"reference {ref.outputs[i:i + 3]}... "
+            f"(lengths {len(pipe_outputs)}/{len(ref.outputs)})"))
+    if pipe_retires != ref.retires:
+        i = _first_diff(pipe_retires, ref.retires)
+        pipe_at = pipe_retires[i] if i < len(pipe_retires) else None
+        ref_at = ref.retires[i] if i < len(ref.retires) else None
+        mm.append(Mismatch(
+            "retire",
+            f"retire #{i} (pc, val, rd, wen): pipeline "
+            f"{_fmt_retire(pipe_at)} vs reference {_fmt_retire(ref_at)}"))
+    cpu_state = cpu.arch_state()
+    ref_state = ref.arch_state()
+    bad = [k for k in ref_state if cpu_state[k] != ref_state[k]]
+    if bad:
+        detail = ", ".join(
+            f"{k}: {cpu_state[k]:#x}!={ref_state[k]:#x}" for k in bad[:6])
+        mm.append(Mismatch("arch-state", detail))
+
+    pipe_words = cpu.mem.words
+    pending = cpu.pending_store()
+    if pending is not None:
+        addr, data, is_byte = pending
+        pipe_words = list(pipe_words)
+        idx = (addr >> 2) % len(pipe_words)
+        if is_byte:
+            shift = (addr & 3) * 8
+            pipe_words[idx] = (pipe_words[idx] & ~(0xFF << shift)) \
+                | ((data & 0xFF) << shift)
+        else:
+            pipe_words[idx] = data & 0xFFFFFFFF
+    if pipe_words != ref.mem.words:
+        i = _first_diff(pipe_words, ref.mem.words)
+        mm.append(Mismatch(
+            "memory",
+            f"word {i:#x} (byte {4 * i:#x}): pipeline "
+            f"{pipe_words[i]:#010x} vs reference {ref.mem.words[i]:#010x}"))
+    return result
+
+
+def _fmt_retire(rec) -> str:
+    if rec is None:
+        return "<end of stream>"
+    pc, val, rd, wen = rec
+    return f"(pc={pc:#x}, val={val:#x}, rd={rd}, wen={wen})"
+
+
+# -- delta-debugging shrinker -------------------------------------------------
+
+#: Block kinds the shrinker may drop wholesale.  The prologue carries
+#: the exception vector, init pins the data base pointer and the
+#: epilogue owns HALT — those shrink line-by-line instead.
+_DROPPABLE_KINDS = frozenset((
+    "alu", "mem", "loop", "mul", "fwd", "io", "csr", "call", "sub",
+    "bkpt", "watch", "irq", "mpu",
+))
+
+
+def _ddmin(units: list, still_fails) -> list:
+    """Classic ddmin: minimize ``units`` such that ``still_fails(kept)``.
+
+    ``still_fails`` receives the kept subset (as a list) and reports
+    whether the failure reproduces without the removed complement.
+    """
+    kept = list(units)
+    granularity = 2
+    while kept:
+        chunk = max(1, len(kept) // granularity)
+        reduced = False
+        for start in range(0, len(kept), chunk):
+            trial = kept[:start] + kept[start + chunk:]
+            if still_fails(trial):
+                kept = trial
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(kept):
+                break
+            granularity = min(len(kept), granularity * 2)
+    return kept
+
+
+def shrink(prog: FuzzProgram, *,
+           max_cycles: int = DEFAULT_MAX_CYCLES) -> FuzzProgram:
+    """Reduce a failing program to a minimal still-failing repro.
+
+    Requires ``cosim(prog)`` to report a mismatch; returns a new
+    :class:`FuzzProgram` whose rendered source still fails.  Candidate
+    reductions that no longer assemble (e.g. a dropped label) or no
+    longer fail are simply rejected.
+    """
+
+    def fails(excluded: frozenset, stub: bool) -> bool:
+        candidate = replace(prog, stub_handler=stub)
+        try:
+            result = cosim(candidate, max_cycles=max_cycles,
+                           excluded=excluded)
+        except (AssemblerError, EncodingError):
+            return False
+        return bool(result.mismatches)
+
+    if not fails(frozenset(), prog.stub_handler):
+        raise ValueError("shrink() requires a failing program")
+
+    # Stage 1: drop whole blocks (ddmin over droppable block indices).
+    all_keys = {bi: frozenset((bi, li) for li in range(len(block.lines)))
+                for bi, block in enumerate(prog.blocks)}
+    droppable = [bi for bi, block in enumerate(prog.blocks)
+                 if block.kind in _DROPPABLE_KINDS]
+
+    def block_excluded(kept_blocks: list[int]) -> frozenset:
+        removed = set(droppable) - set(kept_blocks)
+        gone: set = set()
+        for bi in removed:
+            gone |= all_keys[bi]
+        return frozenset(gone)
+
+    kept_blocks = _ddmin(
+        droppable,
+        lambda kept: fails(block_excluded(kept), prog.stub_handler))
+    excluded = block_excluded(kept_blocks)
+
+    # Stage 2: drop individual removable lines from what's left.
+    lines = [key for key in prog.removable_keys() if key not in excluded]
+    kept_lines = _ddmin(
+        lines,
+        lambda kept: fails(excluded | (set(lines) - set(kept)),
+                           prog.stub_handler))
+    excluded = excluded | (set(lines) - set(kept_lines))
+
+    # Stage 3: swap the full trap handler for the halt stub.
+    stub = prog.stub_handler
+    if not stub and fails(excluded, True):
+        stub = True
+
+    # Materialize the reduced program with the exclusions applied.
+    from .progen import Block, Line
+    blocks: list[Block] = []
+    for bi, block in enumerate(prog.blocks):
+        keep = [Line(line.text, line.removable)
+                for li, line in enumerate(block.lines)
+                if (bi, li) not in excluded]
+        if keep:
+            blocks.append(Block(block.kind, keep))
+    return FuzzProgram(seed=prog.seed, blocks=blocks,
+                       stimulus=list(prog.stimulus), stub_handler=stub)
+
+
+# -- fuzz session driver ------------------------------------------------------
+
+@dataclass
+class FuzzFailure:
+    """One mismatching program (shrunk when shrinking is enabled)."""
+
+    seed: object
+    mismatches: list[Mismatch]
+    source: str
+    instructions: int
+    artifact: Path | None = None
+
+
+@dataclass
+class FuzzReport:
+    """Summary of a fuzz session."""
+
+    programs: int
+    failures: list[FuzzFailure]
+    coverage: Coverage
+    hung_both: int
+    unsupported: int
+    wall_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_fuzz(programs: int = 200, seed: int = 0, *,
+             max_cycles: int = DEFAULT_MAX_CYCLES,
+             do_shrink: bool = True,
+             artifacts_dir: str | Path | None = "fuzz_artifacts",
+             coverage: Coverage | None = None,
+             min_blocks: int = 4, max_blocks: int = 10,
+             progress: bool = False) -> FuzzReport:
+    """Run a differential fuzz session of ``programs`` random programs.
+
+    Every mismatch is delta-debugged to a minimal repro and dumped as
+    an annotated ``.s`` artifact under ``artifacts_dir`` (set ``None``
+    to skip the dump).  Program ``i`` derives its generator stream
+    from ``f"{seed}:{i}"``, so any failure reproduces standalone.
+    """
+    cov = coverage if coverage is not None else Coverage()
+    failures: list[FuzzFailure] = []
+    hung = unsupported = 0
+    t0 = time.perf_counter()
+    for i in range(programs):
+        prog = generate_program(f"{seed}:{i}", min_blocks=min_blocks,
+                                max_blocks=max_blocks)
+        result = cosim(prog, max_cycles=max_cycles, coverage=cov)
+        hung += result.hung_both
+        unsupported += result.unsupported
+        if not result.ok:
+            final = shrink(prog, max_cycles=max_cycles) if do_shrink else prog
+            check = cosim(final, max_cycles=max_cycles)
+            failure = FuzzFailure(
+                seed=prog.seed,
+                mismatches=check.mismatches or result.mismatches,
+                source=final.source(),
+                instructions=final.instruction_count(),
+            )
+            if artifacts_dir is not None:
+                failure.artifact = _dump_artifact(
+                    Path(artifacts_dir), seed, i, prog, failure)
+            failures.append(failure)
+        if progress and not (i + 1) % 200:
+            print(f"[fuzz] {i + 1}/{programs} programs, "
+                  f"{len(failures)} mismatches", flush=True)
+    return FuzzReport(programs=programs, failures=failures, coverage=cov,
+                      hung_both=hung, unsupported=unsupported,
+                      wall_seconds=time.perf_counter() - t0)
+
+
+def _dump_artifact(directory: Path, seed: int, index: int,
+                   original: FuzzProgram, failure: FuzzFailure) -> Path:
+    """Write an annotated minimal-repro ``.s`` file; returns its path."""
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"fail_s{seed}_p{index}.s"
+    header = [
+        f"; differential fuzz failure (program seed {failure.seed!r})",
+        f"; reproduce: cosim(generate_program({failure.seed!r}))",
+        f"; shrunk to {failure.instructions} instructions",
+    ]
+    header += [f"; {m}" for m in failure.mismatches]
+    header.append("; stimulus: " + " ".join(f"{v:#x}" for v in original.stimulus))
+    path.write_text("\n".join(header) + "\n" + failure.source)
+    return path

@@ -1,0 +1,412 @@
+"""Single-step ISA-level architectural reference model of the SR5 core.
+
+:class:`RefModel` executes one *instruction* per :meth:`RefModel.step`
+with no pipeline, no branch prediction, no store buffer and no
+interface registers — just the architectural contract of the ISA:
+sixteen registers, NZCV flags, the CSR file, flat memory, the
+replicated input stream and the OUT port stream.  It reuses
+:mod:`repro.cpu.isa` for decoding but implements execution
+independently of :mod:`repro.cpu.core`, so a pipeline bug (broken
+forwarding, missed flush, store-buffer aliasing, MUL-stall corruption)
+and a reference bug would have to coincide exactly to go unnoticed by
+the differential fuzzer (:mod:`repro.verify.diff`).
+
+Semantics intentionally mirrored from the pipeline's DX stage, which
+is the core's precise architectural commit point:
+
+* exception priority: IRQ > breakpoint > illegal opcode, and for
+  memory operations misaligned > watchpoint > MPU;
+* a trap saves ``cause``/``epc``/``sflags``, sets ``status`` bit 0 and
+  vectors to :data:`repro.cpu.isa.EXC_VECTOR` *without* retiring the
+  faulting instruction (or bumping performance counters);
+* ``cnt_branch`` counts conditional branches only, ``cnt_mem`` counts
+  non-faulting LD/LDB/ST/STB, both gated on ``STATUS_CNT_EN``.
+
+Out of scope (and deliberately so): ``CSRR`` of the cycle counter
+(CSR 0) is timing-dependent and unpredictable at ISA level; the model
+returns 0 and records the read in :attr:`RefModel.timing_csr_reads` so
+callers can refuse to compare such programs.  The program generator
+never emits it.
+
+The ALU and branch comparators live in module-level dispatch tables
+(:data:`ALU_EVAL`, :data:`BRANCH_EVAL`) so tests can monkeypatch a
+single opcode to demonstrate that the differential fuzzer detects and
+shrinks a seeded semantic divergence.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..cpu.isa import (
+    CAUSE_BKPT,
+    CAUSE_ILLEGAL,
+    CAUSE_IRQ,
+    CAUSE_MISALIGNED,
+    CAUSE_MPU,
+    CAUSE_WATCH,
+    CSR_CAUSE,
+    CSR_CNT_BRANCH,
+    CSR_CNT_MEM,
+    CSR_CYCLE,
+    CSR_DBG_BKPT0,
+    CSR_DBG_BKPT1,
+    CSR_DBG_CTRL,
+    CSR_DBG_WATCH0,
+    CSR_EPC,
+    CSR_FLAGS,
+    CSR_IRQ_MASK,
+    CSR_IRQ_PENDING,
+    CSR_MPU_BASE0,
+    CSR_MPU_CTRL,
+    CSR_MPU_LIMIT0,
+    CSR_SCRATCH,
+    CSR_STATUS,
+    EXC_VECTOR,
+    STATUS_CNT_EN,
+    Op,
+    decode,
+    is_legal,
+)
+from ..cpu.memory import InputStream, Memory
+
+MASK32 = 0xFFFFFFFF
+
+
+def _sx(value: int) -> int:
+    """32-bit unsigned to Python signed."""
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+# -- ALU dispatch: opcode -> (a, b) -> (result, carry, overflow) -------------
+
+def _ev_add(a: int, b: int) -> tuple[int, int, int]:
+    full = a + b
+    res = full & MASK32
+    carry = 1 if full > MASK32 else 0
+    ovf = 1 if (~(a ^ b) & (a ^ res)) & 0x80000000 else 0
+    return res, carry, ovf
+
+
+def _ev_sub(a: int, b: int) -> tuple[int, int, int]:
+    res = (a - b) & MASK32
+    carry = 1 if a >= b else 0
+    ovf = 1 if ((a ^ b) & (a ^ res)) & 0x80000000 else 0
+    return res, carry, ovf
+
+
+#: ALU evaluation table; monkeypatch an entry to seed a semantic bug
+#: for shrinker demos (see ``tests/test_fuzz.py``).
+ALU_EVAL: dict[int, object] = {
+    int(Op.ADD): _ev_add,
+    int(Op.ADDI): _ev_add,
+    int(Op.SUB): _ev_sub,
+    int(Op.AND): lambda a, b: (a & b, 0, 0),
+    int(Op.ANDI): lambda a, b: (a & b, 0, 0),
+    int(Op.OR): lambda a, b: (a | b, 0, 0),
+    int(Op.ORI): lambda a, b: (a | b, 0, 0),
+    int(Op.XOR): lambda a, b: (a ^ b, 0, 0),
+    int(Op.XORI): lambda a, b: (a ^ b, 0, 0),
+    int(Op.SHL): lambda a, b: ((a << (b & 31)) & MASK32, 0, 0),
+    int(Op.SHLI): lambda a, b: ((a << (b & 31)) & MASK32, 0, 0),
+    int(Op.SHR): lambda a, b: (a >> (b & 31), 0, 0),
+    int(Op.SHRI): lambda a, b: (a >> (b & 31), 0, 0),
+    int(Op.SRA): lambda a, b: ((_sx(a) >> (b & 31)) & MASK32, 0, 0),
+    int(Op.SRAI): lambda a, b: ((_sx(a) >> (b & 31)) & MASK32, 0, 0),
+    int(Op.SLT): lambda a, b: ((1 if _sx(a) < _sx(b) else 0), 0, 0),
+    int(Op.SLTI): lambda a, b: ((1 if _sx(a) < _sx(b) else 0), 0, 0),
+    int(Op.SLTU): lambda a, b: ((1 if a < b else 0), 0, 0),
+}
+
+#: Branch comparator table (conditional branches only).
+BRANCH_EVAL: dict[int, object] = {
+    int(Op.BEQ): lambda a, b: a == b,
+    int(Op.BNE): lambda a, b: a != b,
+    int(Op.BLT): lambda a, b: _sx(a) < _sx(b),
+    int(Op.BGE): lambda a, b: _sx(a) >= _sx(b),
+    int(Op.BLTU): lambda a, b: a < b,
+    int(Op.BGEU): lambda a, b: a >= b,
+}
+
+#: CSRW-writable registers beyond STATUS/SCRATCH: number -> (attr, mask).
+_CSR_ATTR: dict[int, tuple[str, int]] = {
+    CSR_DBG_BKPT0: ("dbg_bkpt0", MASK32),
+    CSR_DBG_BKPT1: ("dbg_bkpt1", MASK32),
+    CSR_DBG_WATCH0: ("dbg_watch0", MASK32),
+    CSR_DBG_CTRL: ("dbg_ctrl", 0xF),
+    CSR_IRQ_MASK: ("irq_mask", 0xFF),
+    CSR_IRQ_PENDING: ("irq_pending", 0xFF),
+    CSR_MPU_CTRL: ("mpu_ctrl", 0xFF),
+}
+
+_MEM_OPNUMS = frozenset((int(Op.LD), int(Op.LDB), int(Op.ST), int(Op.STB)))
+_CAUSE_NAMES = {
+    CAUSE_ILLEGAL: "ILLEGAL", CAUSE_MISALIGNED: "MISALIGNED",
+    CAUSE_MPU: "MPU", CAUSE_BKPT: "BKPT", CAUSE_WATCH: "WATCH",
+    CAUSE_IRQ: "IRQ",
+}
+
+
+class RefModel:
+    """Architectural single-step simulator for one SR5 core."""
+
+    def __init__(self, memory: Memory, stimulus: InputStream | None = None,
+                 entry: int = 0):
+        self.mem = memory
+        self.stim = stimulus if stimulus is not None else InputStream()
+        self.regs = [0] * 16
+        self.pc = entry & MASK32
+        self.flags = 0
+        self.sflags = 0
+        self.status = 0
+        self.cause = 0
+        self.epc = 0
+        self.scratch = 0
+        self.cnt_branch = 0
+        self.cnt_mem = 0
+        self.dbg_bkpt0 = 0
+        self.dbg_bkpt1 = 0
+        self.dbg_watch0 = 0
+        self.dbg_ctrl = 0
+        self.irq_mask = 0
+        self.irq_pending = 0
+        self.mpu_base = [0] * 4
+        self.mpu_limit = [0] * 4
+        self.mpu_ctrl = 0
+        self.io_in = 0
+        self.io_in_idx = 0
+        self.halted = False
+        #: Ordered OUT-port value stream (mirrors the strobe-sampled
+        #: ``io_out`` sequence of the pipeline).
+        self.outputs: list[int] = []
+        #: Ordered retire records ``(pc, value, rd, wen)`` matching the
+        #: pipeline's ret_* trace port / retire hook.
+        self.retires: list[tuple[int, int, int, int]] = []
+        self.n_steps = 0
+        #: Opcode -> architecturally-executed count (traps excluded).
+        self.executed: Counter = Counter()
+        #: Cause code -> taken-trap count.
+        self.traps: Counter = Counter()
+        self.branches_taken = 0
+        self.branches_not_taken = 0
+        #: Reads of the (timing-dependent, unmodelled) cycle CSR.
+        self.timing_csr_reads = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    def _trap(self, code: int, pc: int) -> None:
+        self.cause = code
+        self.epc = pc
+        self.status |= 1
+        self.sflags = self.flags
+        self.pc = EXC_VECTOR
+        self.traps[code] += 1
+
+    def _csr_read(self, num: int) -> int:
+        if num == CSR_CYCLE:
+            self.timing_csr_reads += 1
+            return 0
+        if num == CSR_STATUS:
+            return self.status
+        if num == CSR_SCRATCH:
+            return self.scratch
+        if num == CSR_FLAGS:
+            return self.flags
+        if num == CSR_CAUSE:
+            return self.cause
+        if num == CSR_EPC:
+            return self.epc
+        if num == CSR_CNT_BRANCH:
+            return self.cnt_branch
+        if num == CSR_CNT_MEM:
+            return self.cnt_mem
+        if CSR_MPU_BASE0 <= num < CSR_MPU_BASE0 + 4:
+            return self.mpu_base[num - CSR_MPU_BASE0]
+        if CSR_MPU_LIMIT0 <= num < CSR_MPU_LIMIT0 + 4:
+            return self.mpu_limit[num - CSR_MPU_LIMIT0]
+        target = _CSR_ATTR.get(num)
+        if target is not None:
+            return getattr(self, target[0])
+        return 0
+
+    def _csr_write(self, num: int, value: int) -> None:
+        if num == CSR_STATUS:
+            self.status = value & 0xFF
+        elif num == CSR_SCRATCH:
+            self.scratch = value
+        elif CSR_MPU_BASE0 <= num < CSR_MPU_BASE0 + 4:
+            self.mpu_base[num - CSR_MPU_BASE0] = value
+        elif CSR_MPU_LIMIT0 <= num < CSR_MPU_LIMIT0 + 4:
+            self.mpu_limit[num - CSR_MPU_LIMIT0] = value
+        else:
+            target = _CSR_ATTR.get(num)
+            if target is not None:
+                setattr(self, target[0], value & target[1])
+
+    # -- one architectural instruction -----------------------------------
+
+    def step(self) -> bool:
+        """Execute (or trap) one instruction; False once halted."""
+        if self.halted:
+            return False
+        self.n_steps += 1
+        pc = self.pc
+        regs = self.regs
+
+        # Instruction-boundary exceptions, highest priority first.
+        if self.irq_pending & self.irq_mask and not self.status & 1:
+            self._trap(CAUSE_IRQ, pc)
+            return True
+        ctrl = self.dbg_ctrl
+        if ctrl & 3 and ((ctrl & 1 and pc == self.dbg_bkpt0)
+                         or (ctrl & 2 and pc == self.dbg_bkpt1)):
+            self._trap(CAUSE_BKPT, pc)
+            return True
+        word = self.mem.read_word(pc)
+        if not is_legal(word):
+            self._trap(CAUSE_ILLEGAL, pc)
+            return True
+
+        ins = decode(word)
+        opnum = int(ins.op)
+        rd = ins.rd
+        imm = ins.imm
+        seq = (pc + 4) & MASK32
+        next_pc = seq
+        ra_val = regs[ins.ra]
+        rb_val = regs[ins.rb]
+        retire_val = 0
+        retire_rd = 0
+        retire_wen = 0
+
+        alu = ALU_EVAL.get(opnum)
+        if alu is not None:
+            if 16 <= opnum:                     # register-immediate form
+                rb_val = imm & MASK32
+            res, carry, ovf = alu(ra_val, rb_val)
+            self.flags = (((res >> 31) & 1) << 3) | ((res == 0) << 2) \
+                | (carry << 1) | ovf
+            if rd:
+                regs[rd] = res
+            retire_val, retire_rd, retire_wen = res, rd, 1
+        elif opnum == Op.MUL or opnum == Op.MULH:
+            prod = ra_val * rb_val
+            res = (prod & MASK32) if opnum == Op.MUL else ((prod >> 32) & MASK32)
+            self.flags = (((res >> 31) & 1) << 3) | ((res == 0) << 2)
+            if rd:
+                regs[rd] = res
+            retire_val, retire_rd, retire_wen = res, rd, 1
+        elif opnum == Op.LUI:
+            res = (imm << 16) & MASK32
+            if rd:
+                regs[rd] = res
+            retire_val, retire_rd, retire_wen = res, rd, 1
+        elif opnum in _MEM_OPNUMS:
+            addr = (ra_val + imm) & MASK32
+            fault = -1
+            if (opnum == Op.LD or opnum == Op.ST) and addr & 3:
+                fault = CAUSE_MISALIGNED
+            elif ctrl & 4 and addr == self.dbg_watch0:
+                fault = CAUSE_WATCH
+            elif self.mpu_ctrl:
+                mc = self.mpu_ctrl
+                for region in range(4):
+                    if ((mc >> (2 * region)) & 3) == 3 and \
+                            self.mpu_base[region] <= addr < self.mpu_limit[region]:
+                        fault = CAUSE_MPU
+                        break
+            if fault >= 0:
+                self._trap(fault, pc)
+                return True
+            if self.status & STATUS_CNT_EN:
+                self.cnt_mem = (self.cnt_mem + 1) & MASK32
+            if opnum == Op.LD:
+                value = self.mem.read_word(addr)
+                if rd:
+                    regs[rd] = value
+                retire_val, retire_rd, retire_wen = value, rd, 1
+            elif opnum == Op.LDB:
+                value = self.mem.read_byte(addr)
+                if rd:
+                    regs[rd] = value
+                retire_val, retire_rd, retire_wen = value, rd, 1
+            elif opnum == Op.ST:
+                self.mem.write_word(addr, rb_val)
+                retire_val, retire_rd = addr, rd
+            else:
+                self.mem.write_byte(addr, rb_val)
+                retire_val, retire_rd = addr, rd
+        elif opnum in BRANCH_EVAL:
+            if self.status & STATUS_CNT_EN:
+                self.cnt_branch = (self.cnt_branch + 1) & MASK32
+            if BRANCH_EVAL[opnum](ra_val, rb_val):
+                next_pc = (seq + ((imm << 2) & MASK32)) & MASK32
+                self.branches_taken += 1
+            else:
+                self.branches_not_taken += 1
+        elif opnum == Op.JAL or opnum == Op.JALR:
+            if opnum == Op.JAL:
+                next_pc = (seq + ((imm << 2) & MASK32)) & MASK32
+            else:
+                next_pc = (ra_val + imm) & MASK32 & ~3
+            if rd:
+                regs[rd] = seq
+            retire_val, retire_rd, retire_wen = seq, rd, 1
+        elif opnum == Op.IN:
+            value = self.stim.sample(self.io_in_idx)
+            self.io_in = value
+            self.io_in_idx = (self.io_in_idx + 1) & 0xFFFF
+            if rd:
+                regs[rd] = value
+            retire_val, retire_rd, retire_wen = value, rd, 1
+        elif opnum == Op.OUT:
+            self.outputs.append(rb_val)
+        elif opnum == Op.CSRR:
+            value = self._csr_read(imm)
+            if rd:
+                regs[rd] = value
+            retire_val, retire_rd, retire_wen = value, rd, 1
+        elif opnum == Op.CSRW:
+            self._csr_write(imm, rb_val)
+        elif opnum == Op.HALT:
+            self.halted = True
+            self.executed[opnum] += 1
+            return False        # HALT does not retire on the pipeline either
+
+        self.executed[opnum] += 1
+        self.retires.append((pc, retire_val, retire_rd, retire_wen))
+        self.pc = next_pc
+        return True
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Execute until HALT or the step bound; returns steps used."""
+        step = self.step
+        for _ in range(max_steps):
+            if not step():
+                break
+        return self.n_steps
+
+    # -- state capture ---------------------------------------------------
+
+    def arch_state(self) -> dict[str, int]:
+        """Architectural state, key-compatible with ``Cpu.arch_state``."""
+        state = {f"r{i}": self.regs[i] for i in range(1, 16)}
+        state.update(
+            flags=self.flags, sflags=self.sflags, status=self.status,
+            cause=self.cause, epc=self.epc, scratch=self.scratch,
+            cnt_branch=self.cnt_branch, cnt_mem=self.cnt_mem,
+            dbg_bkpt0=self.dbg_bkpt0, dbg_bkpt1=self.dbg_bkpt1,
+            dbg_watch0=self.dbg_watch0, dbg_ctrl=self.dbg_ctrl,
+            irq_mask=self.irq_mask, irq_pending=self.irq_pending,
+            mpu_ctrl=self.mpu_ctrl, io_in=self.io_in,
+            io_in_idx=self.io_in_idx, halted=int(self.halted),
+        )
+        for i in range(4):
+            state[f"mpu_base{i}"] = self.mpu_base[i]
+            state[f"mpu_limit{i}"] = self.mpu_limit[i]
+        return state
+
+
+def cause_name(code: int) -> str:
+    """Human-readable exception cause name."""
+    return _CAUSE_NAMES.get(code, f"cause{code}")

@@ -1,12 +1,44 @@
-"""Shared fixtures: small programs, golden traces and a quick campaign."""
+"""Shared fixtures: small programs, golden traces and a quick campaign.
+
+Also owns the test-harness policy knobs:
+
+* **Hypothesis profiles** — ``dev`` (default: few examples, fast edit
+  loop) and ``ci`` (thorough, ``derandomize=True`` so CI draws a fixed
+  deterministic example sequence).  Select with
+  ``HYPOTHESIS_PROFILE=ci``; the GitHub workflow does.
+* **Golden-trace cache isolation** — an autouse session fixture points
+  ``REPRO_GOLDEN_CACHE`` at a per-session tmp dir, so running the test
+  suite never writes (or reads) the repo-level ``.golden_cache/``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.cpu import Cpu, InputStream, Memory, assemble
 from repro.faults import CampaignConfig, GoldenTrace, run_campaign
+from repro.faults.golden import GOLDEN_CACHE_ENV
 from repro.workloads import KERNELS
+
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.register_profile("ci", max_examples=150, deadline=None,
+                          derandomize=True, print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_golden_cache(tmp_path_factory: pytest.TempPathFactory):
+    """Keep golden-trace caching on but out of the repo checkout."""
+    previous = os.environ.get(GOLDEN_CACHE_ENV)
+    os.environ[GOLDEN_CACHE_ENV] = str(tmp_path_factory.mktemp("golden_cache"))
+    yield
+    if previous is None:
+        os.environ.pop(GOLDEN_CACHE_ENV, None)
+    else:
+        os.environ[GOLDEN_CACHE_ENV] = previous
 
 #: A minimal exception-safe program skeleton used across tests.
 PROLOGUE = """
