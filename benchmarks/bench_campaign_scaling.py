@@ -3,27 +3,38 @@
 Times the sharded fault-injection engine at 1/2/4/8 workers on one
 stratified campaign and prints the speedup table, plus the golden-trace
 ``memory_at`` reconstruction hot path (checkpoint+bisect vs the naive
-full-log replay it replaced).
+full-log replay it replaced), plus the liveness-pruning speedup
+(pruned vs un-pruned engine on the same schedule, digests asserted
+bit-identical).
 
 Results are asserted bit-identical across worker counts, so these
 benches double as an integration check of the determinism contract.
 On a single-core container the speedup degenerates to process-pool
 overhead; the table still prints so the trajectory is recorded.
 
-Timings land in ``results/BENCH_<scale>.json`` via the conftest hook.
+Timings land in ``results/BENCH_<scale>.json`` via the conftest hook;
+the pruning sweep additionally writes the repo-root
+``BENCH_campaign.json`` (injections/s, pruned fraction, equivalence
+ratio) so the campaign-throughput trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import os
 import random
 import time
+from pathlib import Path
 
 import pytest
 
 from repro.faults import CampaignConfig, GoldenTrace, run_campaign
 from repro.faults.golden import MEMORY_CHECKPOINT_EVERY
 from repro.workloads import KERNELS
+
+#: Repo-root perf-trajectory artifact (committed, diffed across PRs).
+ROOT_BENCH_JSON = Path(__file__).parent.parent / "BENCH_campaign.json"
 
 #: A campaign sized so one measurement run is seconds, not minutes:
 #: two benchmarks at a moderate sampling fraction.
@@ -71,6 +82,81 @@ def test_scaling_speedup_table(report):
               for w, t, s, n in rows]
     report("campaign_scaling", "\n".join(lines))
     assert rows[0][2] == 1.0
+
+
+@pytest.mark.parametrize("prune", (True, False), ids=("pruned", "unpruned"))
+def test_campaign_pruning(benchmark, prune, serial_reference):
+    """Pruned vs un-pruned engine on the same schedule, workers=1."""
+    benchmark.group = "campaign-pruning"
+    benchmark.name = f"campaign_{'pruned' if prune else 'unpruned'}"
+    config = dataclasses.replace(SCALING_CONFIG, prune=prune)
+    result = benchmark.pedantic(
+        run_campaign, args=(config,), kwargs={"workers": 1},
+        rounds=1, iterations=1)
+    # pruning must be behaviour-preserving, bit for bit
+    assert result.records == serial_reference.records
+    assert result.injected == serial_reference.injected
+
+
+def test_pruning_speedup_report(report):
+    """Quick-campaign pruning sweep; writes the root BENCH_campaign.json.
+
+    workers=1 so the number is pure engine throughput, best-of-3 with
+    the golden traces pre-warmed so neither side pays simulation or
+    cache-load cost.
+    """
+    config = CampaignConfig.quick()
+    config_off = dataclasses.replace(config, prune=False)
+    run_campaign(config, workers=1)  # warm the in-process golden cache
+
+    def best_of(cfg, rounds=3):
+        times, result = [], None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = run_campaign(cfg, workers=1)
+            times.append(time.perf_counter() - start)
+        return min(times), result
+
+    t_on, on = best_of(config)
+    t_off, off = best_of(config_off)
+    assert on.digest() == off.digest()  # behaviour-preserving
+    n = on.n_injected
+    pruning = on.meta["pruning"]
+    pruned = pruning["soft_pruned"] + pruning["hard_pruned"]
+    deferred = pruning["soft_deferred"] + pruning["hard_deferred"]
+    collapsible = pruning["equiv_classes"] + pruning["equiv_hits"]
+    payload = {
+        "config": "quick",
+        "workers": 1,
+        "injections": n,
+        "injections_per_s": {
+            "pruned": round(n / t_on, 1),
+            "unpruned": round(n / t_off, 1),
+        },
+        "speedup": round(t_off / t_on, 2),
+        "pruned_fraction": round(pruned / n, 4),
+        "deferred_fraction": round(deferred / n, 4),
+        "equivalence_class_ratio": round(
+            pruning["equiv_hits"] / collapsible, 4) if collapsible else 0.0,
+        "cycles_saved": pruning["cycles_saved"],
+        "sim_cycles_pruned": pruning["sim_cycles"],
+        "sim_cycles_unpruned": off.meta["pruning"]["sim_cycles"],
+        "digest": on.digest(),
+    }
+    ROOT_BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    report("campaign_pruning", "\n".join([
+        "Liveness pruning — quick campaign, workers=1 (best of 3)",
+        f"  unpruned  wall={t_off:6.3f}s  {n / t_off:8.0f} inj/s",
+        f"  pruned    wall={t_on:6.3f}s  {n / t_on:8.0f} inj/s  "
+        f"speedup={t_off / t_on:4.2f}x",
+        f"  masked w/o sim: {pruned}/{n} ({pruned / n:.1%})  "
+        f"deferred: {deferred}  equiv collapsed: {pruning['equiv_hits']}",
+        f"  cycles: {pruning['sim_cycles']} simulated vs "
+        f"{off.meta['pruning']['sim_cycles']} unpruned "
+        f"({pruning['cycles_saved']} saved)",
+        f"  wrote {ROOT_BENCH_JSON.name}",
+    ]))
+    assert on.records == off.records
 
 
 def test_memory_at_checkpointed(benchmark):

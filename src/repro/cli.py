@@ -18,6 +18,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from .analysis import evaluate_campaign, topk_sweep
@@ -47,16 +48,38 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for the injection campaign "
                              "(0 = all cores); results are identical for "
                              "any value")
+    parser.add_argument("--no-prune", action="store_true",
+                        help="disable liveness pruning (zero-sim masking, "
+                             "deferred starts, dynamic equivalence); records "
+                             "are bit-identical either way — this is an "
+                             "escape hatch / benchmarking baseline")
 
 
 def _load_campaign(args: argparse.Namespace):
-    return cached_campaign(_SCALES[args.scale](), cache_dir=args.cache,
+    config = _SCALES[args.scale]()
+    if getattr(args, "no_prune", False):
+        config = dataclasses.replace(config, prune=False)
+    return cached_campaign(config, cache_dir=args.cache,
                            progress=True, workers=args.workers)
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     campaign = _load_campaign(args)
     print(render_table1(campaign))
+    pruning = campaign.meta.get("pruning")
+    if pruning and not campaign.config.prune:
+        print(f"\npruning disabled: {pruning.get('sim_cycles', 0)} cycles "
+              f"simulated")
+    elif pruning:
+        pruned = pruning.get("soft_pruned", 0) + pruning.get("hard_pruned", 0)
+        deferred = (pruning.get("soft_deferred", 0)
+                    + pruning.get("hard_deferred", 0))
+        print(f"\npruning: {pruned} masked without simulation, "
+              f"{deferred} deferred starts, "
+              f"{pruning.get('equiv_classes', 0)} equivalence classes "
+              f"({pruning.get('equiv_hits', 0)} collapsed), "
+              f"{pruning.get('cycles_saved', 0)} cycles saved vs "
+              f"{pruning.get('sim_cycles', 0)} simulated")
     return 0
 
 

@@ -105,6 +105,54 @@ def _signed(value: int) -> int:
     return value - 0x100000000 if value & 0x80000000 else value
 
 
+class AccessTracer(dict):
+    """Instance-``__dict__`` replacement recording per-cycle def/use sets.
+
+    ``step()`` routes every flip-flop access through ``d[...]``
+    subscripts on ``self.__dict__``; swapping the instance dict for
+    this subclass therefore observes exactly the registers a cycle
+    read and wrote, with *zero* change to ``step()`` itself — when no
+    tracer is attached the hot path still runs on a plain dict.
+
+    Semantics (what the liveness pruner needs):
+
+    * ``reads`` records *stale* reads only — a key read **before** any
+      write to it in the armed window.  A read after a same-cycle
+      write observes freshly computed state, so the old value was
+      provably dead and must not count as a use.
+    * ``writes`` records every key written.  A read-modify-write
+      (``|=``/``^=``/increment) loads the old value first, so it lands
+      in ``reads`` *and* ``writes`` — it can never masquerade as a
+      killing overwrite.
+
+    Attribute access (``self.mem``, ``setattr``) uses CPython's
+    concrete-dict fast path and bypasses the overrides; only
+    subscripted access is traced, which is exactly the flip-flop
+    traffic inside ``step()``.
+    """
+
+    __slots__ = ("reads", "writes")
+
+    def __init__(self, base: dict):
+        super().__init__(base)
+        self.reads: set[str] = set()
+        self.writes: set[str] = set()
+
+    def arm(self) -> None:
+        """Clear both sets; call immediately before the traced step."""
+        self.reads.clear()
+        self.writes.clear()
+
+    def __getitem__(self, key):
+        if key not in self.writes:
+            self.reads.add(key)
+        return dict.__getitem__(self, key)
+
+    def __setitem__(self, key, value) -> None:
+        self.writes.add(key)
+        dict.__setitem__(self, key, value)
+
+
 class Cpu:
     """One SR5 core attached to a memory and a replicated input stream."""
 
@@ -139,6 +187,24 @@ class Cpu:
     def restore(self, state: tuple[int, ...]) -> None:
         """Restore a state captured by :meth:`snapshot`."""
         self.__dict__.update(zip(_SNAP_NAMES, state))
+
+    # -- access tracing (golden generation only) -------------------------
+
+    def start_access_trace(self) -> AccessTracer:
+        """Swap in an :class:`AccessTracer` as this core's ``__dict__``.
+
+        Used only while recording a golden trace; injection-path cores
+        never call this, so ``step()`` keeps its plain-dict speed.
+        """
+        tracer = AccessTracer(self.__dict__)
+        self.__dict__ = tracer
+        return tracer
+
+    def stop_access_trace(self) -> None:
+        """Restore an untraced plain ``__dict__`` (idempotent)."""
+        current = self.__dict__
+        if isinstance(current, AccessTracer):
+            self.__dict__ = dict(current)
 
     # -- output ports ------------------------------------------------------
 

@@ -58,11 +58,22 @@ class RegSpec:
             file entries use the synthetic names ``rf1`` .. ``rf15``).
         width: number of flip-flops.
         unit: owning fine unit.
+        full_write: True when every write site in the core rewrites the
+            whole register from freshly computed inputs (a plain
+            assignment).  Registers with any read-modify-write site
+            (``|=``/``&=``/``^=`` or increments) are flagged False: a
+            write to them may merge stale bits, so the liveness pruner
+            treats such a write as a *use* of the old value rather than
+            a kill.  Mis-flagging a register True is still sound for
+            RMW sites, because an RMW reads the old value and the
+            recorded read blocks the kill — the flag is belt-and-braces
+            for hypothetical partial writes that bypass a read.
     """
 
     name: str
     width: int
     unit: str
+    full_write: bool = True
 
 
 #: Full flip-flop inventory of the core, in canonical snapshot order.
@@ -74,7 +85,7 @@ REGISTRY: tuple[RegSpec, ...] = (
     RegSpec("btb_tag2", 32, PFU), RegSpec("btb_tag3", 32, PFU),
     RegSpec("btb_tgt0", 32, PFU), RegSpec("btb_tgt1", 32, PFU),
     RegSpec("btb_tgt2", 32, PFU), RegSpec("btb_tgt3", 32, PFU),
-    RegSpec("btb_v", 4, PFU),
+    RegSpec("btb_v", 4, PFU, full_write=False),  # per-entry |= / &= updates
     # IMC: fetch interface (registered fetch address + prefetch buffer).
     RegSpec("imc_addr", 32, IMC),
     RegSpec("imc_data", 32, IMC),
@@ -138,16 +149,16 @@ REGISTRY: tuple[RegSpec, ...] = (
     RegSpec("bus_data", 32, BIU),
     RegSpec("bus_ctrl", 4, BIU),
     RegSpec("io_out", 32, BIU),
-    RegSpec("io_out_v", 1, BIU),
+    RegSpec("io_out_v", 1, BIU, full_write=False),  # strobe toggles (^=)
     RegSpec("io_in", 32, BIU),
     RegSpec("io_in_idx", 16, BIU),
     # SCU: status, exception state, scratch, cycle counter, and the
     # debug/interrupt/performance-monitor blocks (off at reset).
-    RegSpec("status", 8, SCU),
+    RegSpec("status", 8, SCU, full_write=False),  # exception entry sets bit 0 (|=)
     RegSpec("cause", 4, SCU),
     RegSpec("epc", 32, SCU),
     RegSpec("scratch", 32, SCU),
-    RegSpec("cyc", 32, SCU),
+    RegSpec("cyc", 32, SCU, full_write=False),  # free-running increment
     RegSpec("halted", 1, SCU),
     RegSpec("dbg_bkpt0", 32, SCU),
     RegSpec("dbg_bkpt1", 32, SCU),
@@ -155,8 +166,8 @@ REGISTRY: tuple[RegSpec, ...] = (
     RegSpec("dbg_ctrl", 4, SCU),
     RegSpec("irq_mask", 8, SCU),
     RegSpec("irq_pending", 8, SCU),
-    RegSpec("cnt_branch", 32, SCU),
-    RegSpec("cnt_mem", 32, SCU),
+    RegSpec("cnt_branch", 32, SCU, full_write=False),  # event-count increment
+    RegSpec("cnt_mem", 32, SCU, full_write=False),     # event-count increment
 )
 
 #: Register name -> index in the canonical snapshot order.
@@ -164,6 +175,31 @@ REG_INDEX: dict[str, int] = {spec.name: i for i, spec in enumerate(REGISTRY)}
 
 #: Register name -> spec.
 REG_BY_NAME: dict[str, RegSpec] = {spec.name: spec for spec in REGISTRY}
+
+#: uint64 words needed for a one-bit-per-register liveness mask row.
+MASK_WORDS: int = (len(REGISTRY) + 63) // 64
+
+
+def pack_register_mask(names) -> int:
+    """Fold register names into one Python-int bitmask (REGISTRY order).
+
+    Unknown names (non-flop attributes like ``mem`` or ``retire_hook``)
+    are ignored, so the golden-trace access tracer can feed raw key
+    sets straight in.
+    """
+    mask = 0
+    index = REG_INDEX
+    for name in names:
+        i = index.get(name)
+        if i is not None:
+            mask |= 1 << i
+    return mask
+
+
+#: Bitmask (as :func:`pack_register_mask`) of registers whose writes
+#: always replace the whole register.
+FULL_WRITE_MASK: int = pack_register_mask(
+    spec.name for spec in REGISTRY if spec.full_write)
 
 
 @dataclass(frozen=True, order=True)

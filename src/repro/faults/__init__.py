@@ -4,6 +4,7 @@ from .campaign import (
     CampaignConfig,
     CampaignResult,
     cached_campaign,
+    records_digest,
     run_campaign,
     sample_flops,
     schedule_faults,
@@ -15,7 +16,7 @@ from .golden import (
     LoggingMemory,
     golden_cache_dir,
 )
-from .injector import InjectionEngine
+from .injector import InjectionEngine, PruneStats
 from .parallel import (
     Shard,
     plan_shards,
@@ -38,11 +39,11 @@ from .stats import (
 )
 
 __all__ = [
-    "CampaignConfig", "CampaignResult", "cached_campaign", "run_campaign",
-    "sample_flops", "schedule_faults",
+    "CampaignConfig", "CampaignResult", "cached_campaign", "records_digest",
+    "run_campaign", "sample_flops", "schedule_faults",
     "CAMPAIGN_MEM_WORDS", "GOLDEN_CACHE_ENV", "GoldenTrace", "LoggingMemory",
     "golden_cache_dir",
-    "InjectionEngine",
+    "InjectionEngine", "PruneStats",
     "Shard", "plan_shards", "resolve_chunk", "resolve_workers",
     "sampling_rng", "schedule_rng",
     "ErrorRecord", "ErrorType", "Fault", "FaultKind", "error_type_of",

@@ -31,7 +31,10 @@ from .models import ErrorRecord, Fault, FaultKind
 #: Bump when the CPU model, SC layout, record schema or fault-schedule
 #: derivation changes.  v3: keyed SeedSequence substreams per
 #: (benchmark, flop) replaced the single sequential generator.
-CAMPAIGN_SCHEMA_VERSION = 3
+#: v4: golden traces carry def/use liveness masks (liveness pruning)
+#: and `schedule_faults` clamps the interval count to the configured
+#: value, spreading the remainder cycles over the leading intervals.
+CAMPAIGN_SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -50,6 +53,10 @@ class CampaignConfig:
     #: cap on post-activation observation for hard faults (None: to end).
     max_observe: int | None = 2000
     mask_check_stride: int = 4
+    #: liveness pruning (zero-sim masking, deferred starts, dynamic
+    #: equivalence).  Records are bit-identical either way — off is an
+    #: escape hatch / baseline for benchmarking (``--no-prune``).
+    prune: bool = True
 
     @classmethod
     def quick(cls) -> "CampaignConfig":
@@ -104,6 +111,10 @@ class CampaignResult:
         """Total number of manifested errors."""
         return len(self.records)
 
+    def digest(self) -> str:
+        """Canonical digest of the record list (see :func:`records_digest`)."""
+        return records_digest(self.records)
+
     def save(self, path: str | Path) -> None:
         """Persist to disk (pickle)."""
         path = Path(path)
@@ -119,6 +130,22 @@ class CampaignResult:
         if not isinstance(result, CampaignResult):
             raise TypeError(f"{path} does not contain a CampaignResult")
         return result
+
+
+def records_digest(records: list[ErrorRecord]) -> str:
+    """Order-sensitive canonical sha256 over a record list.
+
+    Used to assert bit-identical campaign behaviour across worker
+    counts and pruning on/off.  Fields are serialised explicitly —
+    ``repr`` of a frozenset is iteration-order dependent, so the
+    diverged set is sorted first.
+    """
+    h = hashlib.sha256()
+    for r in records:
+        h.update(repr((r.benchmark, r.flop.reg, r.flop.bit, r.kind.value,
+                       r.inject_cycle, r.detect_cycle,
+                       sorted(r.diverged))).encode())
+    return h.hexdigest()
 
 
 def sample_flops(config: CampaignConfig, rng: np.random.Generator) -> list[FlopRef]:
@@ -148,17 +175,26 @@ def schedule_faults(flop: FlopRef, n_cycles: int, config: CampaignConfig,
     Soft faults land in ``soft_per_flop`` distinct random intervals;
     each stuck-at polarity lands in ``hard_per_flop`` random intervals.
     Within an interval the injection cycle is uniform.
+
+    There are never more than ``config.intervals`` intervals: when
+    ``n_cycles`` does not divide evenly the remainder cycles are spread
+    one-per-interval over the leading intervals, so every interval is
+    within one cycle of the same length and late intervals carry the
+    same injection probability as early ones.
     """
-    interval_len = max(1, n_cycles // config.intervals)
-    n_intervals = max(1, n_cycles // interval_len)
+    n_intervals = max(1, min(config.intervals, n_cycles))
+    base, extra = divmod(n_cycles, n_intervals)
 
     def pick_cycles(count: int) -> list[int]:
         count = min(count, n_intervals)
         intervals = rng.choice(n_intervals, size=count, replace=False)
-        return [
-            min(n_cycles - 1, int(iv) * interval_len + int(rng.integers(interval_len)))
-            for iv in intervals
-        ]
+        cycles = []
+        for iv in intervals:
+            iv = int(iv)
+            lo = iv * base + min(iv, extra)
+            length = base + (1 if iv < extra else 0)
+            cycles.append(lo + int(rng.integers(length)))
+        return cycles
 
     faults = [Fault(flop, FaultKind.SOFT, c) for c in pick_cycles(config.soft_per_flop)]
     for kind in (FaultKind.STUCK0, FaultKind.STUCK1):

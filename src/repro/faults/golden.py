@@ -34,10 +34,27 @@ import numpy as np
 from ..cpu.assembler import Program, assemble
 from ..cpu.core import NUM_PORTS, Cpu
 from ..cpu.memory import InputStream, Memory
-from ..cpu.units import REG_INDEX, REGISTRY
+from ..cpu.units import (
+    FULL_WRITE_MASK,
+    MASK_WORDS,
+    REG_INDEX,
+    REGISTRY,
+    pack_register_mask,
+)
 from ..lockstep.categories import expand_ports
 from ..workloads.kernels import DEFAULT_SEED, Workload
 from .campaign import CAMPAIGN_SCHEMA_VERSION
+
+_WORD_MASK = (1 << 64) - 1
+
+
+def _pack_mask_rows(rows: list[int], n: int) -> np.ndarray:
+    """Python-int bitmask rows -> (n, MASK_WORDS) uint64 matrix."""
+    matrix = np.empty((n, MASK_WORDS), dtype=np.uint64)
+    for t, bits in enumerate(rows):
+        for w in range(MASK_WORDS):
+            matrix[t, w] = (bits >> (64 * w)) & _WORD_MASK
+    return matrix
 
 #: Memory size used throughout the injection study.  Small enough that
 #: per-experiment memory reconstruction is cheap; large enough for
@@ -163,14 +180,25 @@ class GoldenTrace:
         mem = LoggingMemory(mem_words)
         mem.words[: len(self.program.words)] = self.program.words
         cpu = Cpu(mem, self.stimulus, entry=self.program.entry)
+        # Golden generation runs with def/use access tracing attached:
+        # per cycle we record which REGISTRY flops the next-state logic
+        # read (stale reads only) and wrote.  The injection hot path
+        # never traces — plain-dict cores are untouched.
+        tracer = cpu.start_access_trace()
         ports: list[tuple[int, ...]] = []
         states: list[tuple[int, ...]] = []
+        read_rows: list[int] = []
+        write_rows: list[int] = []
         t = 0
         while not cpu.halted and t < max_cycles:
             mem.now = t
             states.append(cpu.snapshot())
+            tracer.arm()  # snapshot's reads above are not uses
             ports.append(cpu.step())
+            read_rows.append(pack_register_mask(tracer.reads))
+            write_rows.append(pack_register_mask(tracer.writes))
             t += 1
+        cpu.stop_access_trace()
         if not cpu.halted:
             raise RuntimeError(
                 f"golden run of {workload.name!r} did not halt in {max_cycles} cycles")
@@ -179,8 +207,11 @@ class GoldenTrace:
         self.state_matrix = np.array(states, dtype=np.uint64).reshape(t, len(REGISTRY))
         self.state_hashes = np.fromiter(
             (hash(s) for s in states), dtype=np.int64, count=t)
+        self.read_mask = _pack_mask_rows(read_rows, t)
+        self.write_mask = _pack_mask_rows(write_rows, t)
         self._port_tuples: list[tuple[int, ...]] | None = ports
         self._state_hash_list: list[int] | None = None
+        self._liveness_cache: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         self.reindex_write_log(mem.log)
 
     # -- row access ----------------------------------------------------------
@@ -274,6 +305,8 @@ class GoldenTrace:
                 np.savez(fh, meta=meta, port_matrix=self.port_matrix,
                          state_matrix=self.state_matrix,
                          state_hashes=self.state_hashes,
+                         read_mask=self.read_mask,
+                         write_mask=self.write_mask,
                          write_log=write_log, stimulus=stimulus)
             os.replace(tmp, path)
         finally:
@@ -312,6 +345,14 @@ class GoldenTrace:
                 raise ValueError(f"bad hash vector shape {state_hashes.shape}")
             if write_log.ndim != 2 or write_log.shape[1] != 3:
                 raise ValueError(f"bad write log shape {write_log.shape}")
+            # v4: per-cycle def/use masks.  Older cache files simply lack
+            # the keys (KeyError lands in the same discard path).
+            read_mask = data["read_mask"]
+            write_mask = data["write_mask"]
+            if read_mask.shape != (n_cycles, MASK_WORDS):
+                raise ValueError(f"bad read mask shape {read_mask.shape}")
+            if write_mask.shape != (n_cycles, MASK_WORDS):
+                raise ValueError(f"bad write mask shape {write_mask.shape}")
             if stimulus.tolist() != list(stimulus_values):
                 raise ValueError("stimulus stream mismatch")
             trace = cls.__new__(cls)
@@ -326,8 +367,11 @@ class GoldenTrace:
             trace.port_matrix = port_matrix
             trace.state_matrix = state_matrix
             trace.state_hashes = state_hashes
+            trace.read_mask = read_mask
+            trace.write_mask = write_mask
             trace._port_tuples = None
             trace._state_hash_list = None
+            trace._liveness_cache = {}
             trace.reindex_write_log(
                 [tuple(entry) for entry in write_log.tolist()])
             reset = Cpu(Memory(16), trace.stimulus,
@@ -382,27 +426,38 @@ class GoldenTrace:
             self._mem_checkpoints = ckpts
         return ckpts
 
-    def memory_at(self, cycle: int) -> Memory:
+    def memory_at(self, cycle: int, out: Memory | None = None) -> Memory:
         """Reconstruct the memory image as of the start of ``cycle``.
 
         Starts from the nearest preceding checkpoint and replays only
         the delta, so reconstruction is O(image + stride) instead of
         O(image + whole log).
+
+        Args:
+            out: optional scratch :class:`Memory` of ``mem_words`` size
+                to overwrite in place and return, saving the per-call
+                word-list allocation (the injection engine reuses one
+                scratch buffer across all experiments).
         """
         # Entries with when < cycle are committed before `cycle` starts.
         j = bisect_left(self._log_cycles, cycle)
         k = j // MEMORY_CHECKPOINT_EVERY
         if k:
-            words = list(self._checkpoints()[k - 1])
+            src = self._checkpoints()[k - 1]
             base = k * MEMORY_CHECKPOINT_EVERY
         else:
-            words = list(self._initial_words)
+            src = self._initial_words
             base = 0
+        if out is None:
+            mem = Memory.__new__(Memory)
+            mem.size = self.mem_words
+            mem.words = list(src)
+        else:
+            mem = out
+            mem.words[:] = src
+        words = mem.words
         for _, idx, value in self.write_log[base:j]:
             words[idx] = value
-        mem = Memory.__new__(Memory)
-        mem.size = self.mem_words
-        mem.words = words
         return mem
 
     def activation_cycle(self, reg: str, bit: int, value: int, start: int) -> int | None:
@@ -416,6 +471,78 @@ class GoldenTrace:
         col = self.state_matrix[start:, REG_INDEX[reg]]
         bits = (col >> np.uint64(bit)) & np.uint64(1)
         hits = np.nonzero(bits != value)[0]
+        if hits.size == 0:
+            return None
+        return start + int(hits[0])
+
+    # -- liveness queries -----------------------------------------------------
+
+    def _liveness(self, reg: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-cycle (use mask, use cycles, kill cycles) for ``reg``.
+
+        ``use[t]`` is True when cycle ``t``'s next-state logic observes
+        the register's start-of-cycle value: a stale read, or — for
+        registers without the ``full_write`` guarantee — any write,
+        since a read-modify-write merges old bits.  ``kill`` cycles are
+        full writes with no stale read: the old value is dead there.
+        Cached per register (the campaign revisits the same registers
+        for thousands of faults).
+        """
+        entry = self._liveness_cache.get(reg)
+        if entry is None:
+            idx = REG_INDEX[reg]
+            word, bitpos = divmod(idx, 64)
+            one = np.uint64(1)
+            shift = np.uint64(bitpos)
+            reads = ((self.read_mask[:, word] >> shift) & one).astype(bool)
+            writes = ((self.write_mask[:, word] >> shift) & one).astype(bool)
+            if (FULL_WRITE_MASK >> idx) & 1:
+                use = reads
+                kill = writes & ~reads
+            else:
+                use = reads | writes
+                kill = np.zeros(len(reads), dtype=bool)
+            entry = (use, np.nonzero(use)[0], np.nonzero(kill)[0])
+            self._liveness_cache[reg] = entry
+        return entry
+
+    def soft_start(self, reg: str, start: int) -> int | None:
+        """Deferred simulation start for a soft flip injected at ``start``.
+
+        Returns the first cycle >= ``start`` at which the flipped value
+        is observed, or None when the fault is provably masked — the
+        register is fully overwritten before any read, or never touched
+        again.  Starting the faulty core at the returned cycle (flip
+        applied to the golden snapshot) is exact: in the skipped window
+        the register is neither read nor written, so the real faulty
+        run's state there is golden XOR flip — precisely the state we
+        construct.
+        """
+        use, use_cycles, kill_cycles = self._liveness(reg)
+        i = int(np.searchsorted(use_cycles, start))
+        if i == len(use_cycles):
+            return None  # never observed again: masked
+        first_use = int(use_cycles[i])
+        j = int(np.searchsorted(kill_cycles, start))
+        if j < len(kill_cycles) and int(kill_cycles[j]) < first_use:
+            return None  # fully overwritten before first read: masked
+        return first_use
+
+    def first_active_use(self, reg: str, bit: int, value: int,
+                         start: int) -> int | None:
+        """First cycle >= ``start`` where a stuck-at fault is *observed*.
+
+        Composes :meth:`activation_cycle` with liveness: the forced bit
+        must both differ from the golden value (active) and be used that
+        cycle.  Forced-but-unread stretches cannot influence anything —
+        ports are registers too, and reading one counts as a use — so
+        simulation can start at the returned cycle.  None when the
+        stuck-at is never observed while active.
+        """
+        use = self._liveness(reg)[0]
+        col = self.state_matrix[start:, REG_INDEX[reg]]
+        bits = (col >> np.uint64(bit)) & np.uint64(1)
+        hits = np.nonzero((bits != value) & use[start:])[0]
         if hits.size == 0:
             return None
         return start + int(hits[0])

@@ -20,6 +20,27 @@ pair with the fault in one core, at a fraction of the cost:
   re-convergence checks (exponentially backed off) let the engine
   fast-forward over stretches where the forced core is bit-identical
   to the golden core, jumping straight to the next activation cycle.
+
+Liveness pruning (schema v4, default on) adds three further levers on
+top, all provably behaviour-preserving — the campaign digest is
+bit-identical with pruning on or off:
+
+* a soft flip into a register that is fully overwritten before its
+  next read (or never touched again) is **masked with zero simulated
+  cycles** (:meth:`GoldenTrace.soft_start` returns None);
+* otherwise the simulation is **deferred**: in the window between the
+  injection and the first cycle the flipped value is observed, the
+  register is neither read nor written, so the real faulty core's
+  state there is exactly golden XOR flip — the engine constructs that
+  state directly and starts at the first-use cycle;
+* soft faults on the same ``(reg, bit)`` whose deferred start cycles
+  coincide are **dynamically equivalent**: the shared start state
+  determines the whole future, so one representative is simulated and
+  its ``(detect_cycle, diverged)`` outcome is replayed for the rest of
+  the class, each record keeping its own ``inject_cycle``.  Stuck-at
+  activation search composes with liveness the same way
+  (:meth:`GoldenTrace.first_active_use` skips forced-but-unread
+  stretches).  ``PruneStats`` counts what was avoided.
 """
 
 from __future__ import annotations
@@ -37,11 +58,35 @@ from .models import ErrorRecord, Fault, FaultKind
 _CONVERGE_CHECK_START = 8
 
 
+class PruneStats:
+    """Counters describing how much work liveness pruning avoided.
+
+    ``cycles_saved`` aggregates golden-window cycles the engine skipped
+    without simulating (masked windows, deferral windows, and the
+    representative spans replayed for equivalence-class hits);
+    ``sim_cycles`` is what it actually simulated.  All counters are
+    per-engine, i.e. per shard in a parallel campaign; the campaign
+    layer sums them.
+    """
+
+    __slots__ = ("soft_pruned", "soft_deferred", "hard_pruned",
+                 "hard_deferred", "equiv_classes", "equiv_hits",
+                 "cycles_saved", "sim_cycles")
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (picklable, mergeable by key-wise sum)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
 class InjectionEngine:
     """Runs fault-injection experiments against one golden trace."""
 
     def __init__(self, golden: GoldenTrace, max_observe: int | None = None,
-                 mask_check_stride: int = 4):
+                 mask_check_stride: int = 4, prune: bool = True):
         """Args:
             golden: the fault-free reference trace.
             max_observe: cap on simulated cycles after a hard fault's
@@ -50,13 +95,28 @@ class InjectionEngine:
                 trades the extreme tail for campaign throughput.
             mask_check_stride: how often (in cycles) the transient
                 masking check compares full states.
+            prune: exploit the golden trace's def/use liveness masks
+                (masking without simulation, deferred starts, dynamic
+                equivalence classes).  Off = the plain v3 algorithm;
+                records are bit-identical either way.
         """
         self.golden = golden
         self.max_observe = max_observe
         self.mask_check_stride = max(1, mask_check_stride)
-        self._cpu = Cpu(Memory(16), golden.stimulus)
+        self.prune = prune
+        # One scratch memory reused across all experiments: memory_at
+        # overwrites it in place instead of allocating a fresh word
+        # list per injection.
+        self._scratch_mem = Memory(golden.mem_words)
+        self._cpu = Cpu(self._scratch_mem, golden.stimulus)
         self._g_ports = golden.port_tuples()
         self._g_hashes = golden.state_hash_list()
+        #: (reg, bit, deferred start) -> (outcome, simulated span) where
+        #: outcome is None (masked) or (detect_cycle, diverged).
+        self._soft_classes: dict[
+            tuple[str, int, int],
+            tuple[tuple[int, frozenset[int]] | None, int]] = {}
+        self.stats = PruneStats()
 
     def inject(self, fault: Fault) -> ErrorRecord | None:
         """Run one experiment; returns the error record or None if masked."""
@@ -71,13 +131,65 @@ class InjectionEngine:
         t0 = fault.cycle
         if not 0 <= t0 < golden.n_cycles:
             return None
+        if not self.prune:
+            return self._run_soft(fault, t0, t0)[0]
+
+        stats = self.stats
+        start = golden.soft_start(fault.flop.reg, t0)
+        if start is None:
+            # Fully overwritten before any read, or never touched
+            # again: masked with zero simulated cycles.
+            stats.soft_pruned += 1
+            stats.cycles_saved += golden.n_cycles - t0
+            return None
+        if start > t0:
+            stats.soft_deferred += 1
+            stats.cycles_saved += start - t0
+
+        # Dynamic equivalence: the state at `start` (golden XOR flip)
+        # is the same for every fault in the class, so the outcome is
+        # too — only inject_cycle differs per record.
+        key = (fault.flop.reg, fault.flop.bit, start)
+        cached = self._soft_classes.get(key)
+        if cached is not None:
+            stats.equiv_hits += 1
+            outcome, sim_span = cached
+            stats.cycles_saved += sim_span
+            if outcome is None:
+                return None
+            detect_cycle, diverged = outcome
+            return ErrorRecord(
+                benchmark=golden.workload.name,
+                flop=fault.flop,
+                kind=fault.kind,
+                inject_cycle=t0,
+                detect_cycle=detect_cycle,
+                diverged=diverged,
+            )
+        record, span = self._run_soft(fault, t0, start)
+        outcome = None if record is None else (record.detect_cycle, record.diverged)
+        self._soft_classes[key] = (outcome, span)
+        stats.equiv_classes += 1
+        return record
+
+    def _run_soft(self, fault: Fault, t0: int,
+                  start: int) -> tuple[ErrorRecord | None, int]:
+        """Simulate a soft flip from ``start`` (= ``t0`` unless deferred).
+
+        Returns the record (inject_cycle stays ``t0``) and the number
+        of cycles actually simulated.  The masking-check stride is
+        anchored at ``start``; check placement cannot change the
+        verdict — an early masked return requires exact state equality
+        with golden, after which divergence is impossible.
+        """
+        golden = self.golden
         reg_idx = REG_INDEX[fault.flop.reg]
-        state = list(golden.state_at(t0))
+        state = list(golden.state_at(start))
         state[reg_idx] ^= 1 << fault.flop.bit
 
         cpu = self._cpu
         cpu.restore(tuple(state))
-        cpu.mem = golden.memory_at(t0)
+        cpu.mem = golden.memory_at(start, out=self._scratch_mem)
         g_ports = self._g_ports
         g_hashes = self._g_hashes
         state_at = golden.state_at
@@ -85,9 +197,12 @@ class InjectionEngine:
         stride = self.mask_check_stride
         step = cpu.step
         snapshot = cpu.snapshot
-        for t in range(t0, n):
+        stats = self.stats
+        for t in range(start, n):
             out = step()
             if out != g_ports[t]:
+                span = t + 1 - start
+                stats.sim_cycles += span
                 return ErrorRecord(
                     benchmark=golden.workload.name,
                     flop=fault.flop,
@@ -95,15 +210,19 @@ class InjectionEngine:
                     inject_cycle=t0,
                     detect_cycle=t,
                     diverged=diverged_ports(out, g_ports[t]),
-                )
-            if t + 1 < n and (t - t0) % stride == 0:
+                ), span
+            if t + 1 < n and (t - start) % stride == 0:
                 snap = snapshot()
                 # Hash precheck: equality requires equal hashes, so the
                 # exact tuple compare (the semantic decision) runs only
                 # on a hash hit — same verdict, ~90x cheaper per miss.
                 if hash(snap) == g_hashes[t + 1] and snap == state_at(t + 1):
-                    return None  # fully re-converged: masked
-        return None  # ran to completion without divergence: masked
+                    span = t + 1 - start
+                    stats.sim_cycles += span
+                    return None, span  # fully re-converged: masked
+        span = n - start
+        stats.sim_cycles += span
+        return None, span  # ran to completion without divergence: masked
 
     # -- permanent -----------------------------------------------------------
 
@@ -119,26 +238,48 @@ class InjectionEngine:
         if t_act is None:
             return None  # the flop never holds the complementary value
 
+        n = golden.n_cycles
+        # The observation window stays anchored at the plain activation
+        # cycle even when the start is deferred — same absolute horizon
+        # as the un-pruned path, so verdicts (and digests) match.
+        end = n if self.max_observe is None else min(n, t_act + self.max_observe)
+        stats = self.stats
+        prune = self.prune
+        if prune:
+            # Compose activation with liveness: forced-but-unread
+            # stretches cannot influence anything (ports are registers
+            # too, and reading one counts as a use), so start at the
+            # first cycle the active stuck bit is actually observed.
+            t_start = golden.first_active_use(reg, bit, value, t_act)
+            if t_start is None or t_start >= end:
+                stats.hard_pruned += 1
+                stats.cycles_saved += end - t_act
+                return None  # never observed while active: masked
+            if t_start > t_act:
+                stats.hard_deferred += 1
+                stats.cycles_saved += t_start - t_act
+        else:
+            t_start = t_act
+
         reg_idx = REG_INDEX[reg]
         mask = 1 << bit
         g_ports = self._g_ports
         g_hashes = self._g_hashes
         state_at = golden.state_at
-        n = golden.n_cycles
-        end = n if self.max_observe is None else min(n, t_act + self.max_observe)
 
         cpu = self._cpu
-        state = list(state_at(t_act))
+        state = list(state_at(t_start))
         state[reg_idx] = (state[reg_idx] | mask) if value else (state[reg_idx] & ~mask)
         cpu.restore(tuple(state))
-        cpu.mem = golden.memory_at(t_act)
+        cpu.mem = golden.memory_at(t_start, out=self._scratch_mem)
         d = cpu.__dict__
         step = cpu.step
         snapshot = cpu.snapshot
 
-        t = t_act
+        t = t_start
+        seg_start = t_start
         interval = _CONVERGE_CHECK_START
-        next_check = t_act + interval
+        next_check = t_start + interval
         while t < end:
             # Re-assert the stuck-at before the cycle evaluates.
             if value:
@@ -147,6 +288,7 @@ class InjectionEngine:
                 d[reg] &= ~mask
             out = step()
             if out != g_ports[t]:
+                stats.sim_cycles += t + 1 - seg_start
                 return ErrorRecord(
                     benchmark=golden.workload.name,
                     flop=fault.flop,
@@ -157,26 +299,35 @@ class InjectionEngine:
                 )
             t += 1
             if t == next_check and t < end:
-                # Re-convergence fast-forward.  All outputs since t_act
-                # matched golden, so memory matches golden (differing
-                # stores surface on port SCs in their commit cycle); if
-                # the flop state matches too, the forced core is
-                # bit-identical to golden until the flop next needs to
-                # hold the complementary value — skip straight there.
+                # Re-convergence fast-forward.  All outputs since the
+                # start matched golden, so memory matches golden
+                # (differing stores surface on port SCs in their commit
+                # cycle); if the flop state matches too, the forced
+                # core is bit-identical to golden until the flop next
+                # needs to hold the complementary value — skip straight
+                # there (to the next *observed* active cycle when
+                # pruning).
                 snap = snapshot()
                 if hash(snap) == g_hashes[t] and snap == state_at(t):
-                    t_next = golden.activation_cycle(reg, bit, value, t)
+                    if prune:
+                        t_next = golden.first_active_use(reg, bit, value, t)
+                    else:
+                        t_next = golden.activation_cycle(reg, bit, value, t)
                     if t_next is None or t_next >= end:
+                        stats.sim_cycles += t - seg_start
                         return None  # force is a no-op for the rest of the window
                     if t_next > t:
                         state = list(state_at(t_next))
                         state[reg_idx] = ((state[reg_idx] | mask) if value
                                           else (state[reg_idx] & ~mask))
                         cpu.restore(tuple(state))
-                        cpu.mem = golden.memory_at(t_next)
+                        cpu.mem = golden.memory_at(t_next, out=self._scratch_mem)
+                        stats.sim_cycles += t - seg_start
+                        seg_start = t_next
                         t = t_next
                         interval = _CONVERGE_CHECK_START
                 else:
                     interval *= 2
                 next_check = t + interval
+        stats.sim_cycles += t - seg_start
         return None

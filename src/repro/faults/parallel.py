@@ -137,17 +137,22 @@ def _golden_for(benchmark: str, seed: int) -> GoldenTrace:
 
 
 def run_shard(config, shard: Shard) -> tuple[
-        list[ErrorRecord], dict[tuple[str, str], int], int]:
-    """Execute one shard; returns (records, injected counts, golden cycles).
+        list[ErrorRecord], dict[tuple[str, str], int], int, dict[str, int]]:
+    """Execute one shard.
 
+    Returns (records, injected counts, golden cycles, pruning stats).
     Top-level so it pickles into pool workers; also called inline by
-    the ``workers=1`` path.
+    the ``workers=1`` path.  The engine's dynamic-equivalence cache is
+    per shard, which only affects how often the cache hits (a pure
+    performance matter) — outcomes, and therefore the merged record
+    list, are identical for any sharding.
     """
     from .campaign import schedule_faults
 
     golden = _golden_for(shard.benchmark, config.seed)
     engine = InjectionEngine(golden, max_observe=config.max_observe,
-                             mask_check_stride=config.mask_check_stride)
+                             mask_check_stride=config.mask_check_stride,
+                             prune=config.prune)
     records: list[ErrorRecord] = []
     injected: dict[tuple[str, str], int] = {}
     for offset, flop in enumerate(shard.flops):
@@ -158,7 +163,7 @@ def run_shard(config, shard: Shard) -> tuple[
             record = engine.inject(fault)
             if record is not None:
                 records.append(record)
-    return records, injected, golden.n_cycles
+    return records, injected, golden.n_cycles, engine.stats.as_dict()
 
 
 # -- controller side ---------------------------------------------------------
@@ -182,17 +187,25 @@ def execute_campaign(config, progress: bool = False, workers: int | None = 1,
     shards = plan_shards(config.benchmarks, flops, workers, chunk)
     start = time.perf_counter()
     outcomes: dict[tuple[int, int], tuple] = {}
-    # Running error total for progress lines — re-summing every shard's
+    # Running totals for progress lines — re-summing every shard's
     # record list on each completion would be O(shards^2).
     error_count = 0
+    pruning: dict[str, int] = {}
+
+    def _absorb(outcome) -> None:
+        nonlocal error_count
+        error_count += len(outcome[0])
+        for key, count in outcome[3].items():
+            pruning[key] = pruning.get(key, 0) + count
 
     if workers == 1 or len(shards) == 1:
         for i, shard in enumerate(shards):
             outcome = run_shard(config, shard)
             outcomes[shard.order_key] = outcome
-            error_count += len(outcome[0])
+            _absorb(outcome)
             if progress:
-                _print_progress(i + 1, len(shards), error_count, start)
+                _print_progress(i + 1, len(shards), error_count, start,
+                                pruning)
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             pending = {pool.submit(run_shard, config, shard): shard
@@ -204,17 +217,17 @@ def execute_campaign(config, progress: bool = False, workers: int | None = 1,
                     shard = pending.pop(future)
                     outcome = future.result()
                     outcomes[shard.order_key] = outcome
-                    error_count += len(outcome[0])
+                    _absorb(outcome)
                     done_count += 1
                     if progress:
                         _print_progress(done_count, len(shards), error_count,
-                                        start)
+                                        start, pruning)
 
     records: list[ErrorRecord] = []
     injected: dict[tuple[str, str], int] = {}
     golden_cycles: dict[str, int] = {}
     for shard in shards:  # already in order_key order
-        recs, inj, n_cycles = outcomes[shard.order_key]
+        recs, inj, n_cycles = outcomes[shard.order_key][:3]
         records.extend(recs)
         for key, count in inj.items():
             injected[key] = injected.get(key, 0) + count
@@ -228,11 +241,18 @@ def execute_campaign(config, progress: bool = False, workers: int | None = 1,
         sampled_flops=sampled,
         wall_seconds=time.perf_counter() - start,
         meta={"workers": workers, "n_shards": len(shards),
-              "chunk_flops": chunk},
+              "chunk_flops": chunk, "pruning": pruning},
     )
 
 
-def _print_progress(done: int, n_shards: int, errors: int, start: float) -> None:
+def _print_progress(done: int, n_shards: int, errors: int, start: float,
+                    pruning: dict[str, int] | None = None) -> None:
     elapsed = time.perf_counter() - start
+    extra = ""
+    if pruning:
+        pruned = pruning.get("soft_pruned", 0) + pruning.get("hard_pruned", 0)
+        extra = (f" pruned={pruned}"
+                 f" equiv={pruning.get('equiv_hits', 0)}"
+                 f" saved={pruning.get('cycles_saved', 0)}cyc")
     print(f"[campaign] shard {done}/{n_shards} "
-          f"errors={errors} t={elapsed:.0f}s", flush=True)
+          f"errors={errors}{extra} t={elapsed:.0f}s", flush=True)

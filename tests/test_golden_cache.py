@@ -40,6 +40,11 @@ class TestRoundTrip:
         assert loaded.n_cycles == fresh.n_cycles
         assert np.array_equal(loaded.port_matrix, fresh.port_matrix)
         assert np.array_equal(loaded.state_matrix, fresh.state_matrix)
+        assert np.array_equal(loaded.read_mask, fresh.read_mask)
+        assert np.array_equal(loaded.write_mask, fresh.write_mask)
+        assert loaded.soft_start("rf5", 0) == fresh.soft_start("rf5", 0)
+        assert loaded.first_active_use("scratch", 3, 1, 0) == \
+            fresh.first_active_use("scratch", 3, 1, 0)
         assert loaded.port_tuples() == fresh.port_tuples()
         assert loaded.state_hash_list() == fresh.state_hash_list()
         assert loaded.write_log == fresh.write_log
@@ -97,6 +102,47 @@ class TestFallback:
         with pytest.warns(RuntimeWarning, match="schema"):
             trace = GoldenTrace._load_cached(path, WORKLOAD, 1234,
                                              CAMPAIGN_MEM_WORDS)
+        assert trace is None
+
+    def test_pre_v4_file_without_masks_is_discarded(self, tmp_path):
+        """A schema-bump survivor missing the liveness masks is unusable.
+
+        Simulates a v3-era cache that was hand-renamed (or a dir carried
+        across the bump with the version forced): the mask keys simply
+        do not exist in the archive, so the load must fall back to a
+        fresh simulation rather than produce a trace that cannot answer
+        liveness queries.
+        """
+        fresh = GoldenTrace.cached(WORKLOAD, cache_dir=tmp_path)
+        path = _cache_path(tmp_path)
+        data = dict(np.load(path, allow_pickle=False))
+        del data["read_mask"]
+        del data["write_mask"]
+        with open(path, "wb") as fh:
+            np.savez(fh, **data)
+        with pytest.warns(RuntimeWarning, match="discarding unusable"):
+            trace = GoldenTrace._load_cached(path, WORKLOAD, fresh.seed,
+                                             fresh.mem_words)
+        assert trace is None
+        # the public entry point recovers by re-simulating (and rewrites
+        # a usable file)
+        with pytest.warns(RuntimeWarning, match="discarding unusable"):
+            recovered = GoldenTrace.cached(WORKLOAD, cache_dir=tmp_path)
+        assert np.array_equal(recovered.read_mask, fresh.read_mask)
+        reloaded = GoldenTrace._load_cached(path, WORKLOAD, fresh.seed,
+                                            fresh.mem_words)
+        assert reloaded is not None
+
+    def test_truncated_mask_matrix_is_discarded(self, tmp_path):
+        fresh = GoldenTrace.cached(WORKLOAD, cache_dir=tmp_path)
+        path = _cache_path(tmp_path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["read_mask"] = data["read_mask"][:10]
+        with open(path, "wb") as fh:
+            np.savez(fh, **data)
+        with pytest.warns(RuntimeWarning, match="discarding unusable"):
+            trace = GoldenTrace._load_cached(path, WORKLOAD, fresh.seed,
+                                             fresh.mem_words)
         assert trace is None
 
     def test_truncated_matrix_is_discarded(self, tmp_path):
