@@ -10,7 +10,13 @@ Commands:
 * ``overhead``  — the Table IV area/power model.
 * ``run``       — execute one workload kernel and print its outputs.
 * ``fuzz``      — differential co-simulation fuzz of the pipeline
-  against the ISA reference model (mismatches shrink to ``.s`` repros).
+  against the ISA reference model (mismatches shrink to ``.s`` repros);
+  ``--inject`` switches to fuzz-under-fault-injection (per-fault
+  detection latency / masked / escape classification), ``--adapt``
+  turns on coverage-directed template reweighting.
+* ``mutate``    — mutation-test the verification stack: plant ALU /
+  branch / checker bugs, measure programs-to-kill, emit
+  ``BENCH_mutation.json``.
 * ``disasm``    — disassemble a workload kernel.
 * ``kernels``   — list the available workloads.
 """
@@ -123,15 +129,22 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.inject:
+        return _cmd_fuzz_inject(args)
     from .verify import run_fuzz
 
+    kwargs = {}
+    if args.artifacts is not None:
+        # Explicit directory beats the REPRO_FUZZ_ARTIFACTS env default.
+        kwargs["artifacts_dir"] = args.artifacts
     report = run_fuzz(
         programs=args.programs,
         seed=args.seed,
         max_cycles=args.max_cycles,
         do_shrink=not args.no_shrink,
-        artifacts_dir=args.artifacts,
+        adapt=args.adapt,
         progress=True,
+        **kwargs,
     )
     print(report.coverage.report())
     print(f"wall time: {report.wall_seconds:.1f}s"
@@ -150,6 +163,55 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         return 1
     print(f"OK: {report.programs} programs, zero pipeline-vs-reference "
           f"mismatches")
+    return 0
+
+
+def _cmd_fuzz_inject(args: argparse.Namespace) -> int:
+    from .verify.faultfuzz import run_faultfuzz
+
+    report = run_faultfuzz(
+        programs=args.programs,
+        seed=args.seed,
+        faults_per_program=args.faults,
+        max_cycles=args.max_cycles,
+        workers=args.workers,
+        progress=True,
+    )
+    print(report.report())
+    print(f"wall time: {report.wall_seconds:.1f}s  (workers: "
+          f"{report.meta['workers']})")
+    return 0
+
+
+def cmd_mutate(args: argparse.Namespace) -> int:
+    from .verify.mutation import run_mutation, write_report
+
+    mutants = None
+    if args.sample:
+        from .verify.mutation import default_mutants
+        mutants = default_mutants()[:args.sample]
+    report = run_mutation(
+        seed=args.seed,
+        max_programs=args.programs,
+        checker_programs=args.checker_programs,
+        mutants=mutants,
+        progress=True,
+    )
+    print(report.report())
+    if args.out:
+        path = write_report(report, args.out)
+        print(f"wrote {path}")
+    failed = []
+    rate = report.kill_rate(("alu", "branch"))
+    if rate < args.min_kill_rate:
+        failed.append(f"alu/branch kill rate {100 * rate:.1f}% below "
+                      f"{100 * args.min_kill_rate:.1f}%")
+    if report.undocumented_survivors:
+        failed.append("undocumented survivors: " + ", ".join(
+            r["name"] for r in report.undocumented_survivors))
+    if failed:
+        print("MUTATION GATE FAILED: " + "; ".join(failed))
+        return 1
     return 0
 
 
@@ -214,9 +276,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pipeline cycle budget per program")
     p.add_argument("--no-shrink", action="store_true",
                    help="skip delta-debugging of mismatching programs")
-    p.add_argument("--artifacts", default="fuzz_artifacts", metavar="DIR",
-                   help="directory for shrunken .s failure artifacts")
+    p.add_argument("--artifacts", default=None, metavar="DIR",
+                   help="directory for shrunken .s failure artifacts "
+                        "(default: $REPRO_FUZZ_ARTIFACTS, else "
+                        "fuzz_artifacts/)")
+    p.add_argument("--adapt", action="store_true",
+                   help="coverage-directed generation: reweight templates "
+                        "toward under-hit event bins between batches")
+    p.add_argument("--inject", action="store_true",
+                   help="fuzz under fault injection: perturb one core of a "
+                        "DMR pair per program and classify every fault as "
+                        "detected / masked / escape / hung")
+    p.add_argument("--faults", type=int, default=3, metavar="K",
+                   help="faults injected per program (with --inject)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="worker processes for --inject (0 = all cores); "
+                        "digest is identical for any value")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "mutate", help="mutation-test the fuzzer and the lockstep checker")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fuzz session seed used against every mutant")
+    p.add_argument("--programs", type=int, default=200, metavar="N",
+                   help="cosim program budget per ALU/branch mutant")
+    p.add_argument("--checker-programs", type=int, default=200, metavar="N",
+                   help="fault-fuzz program budget per checker mutant")
+    p.add_argument("--sample", type=int, default=0, metavar="K",
+                   help="only run the first K mutants of the pool (CI smoke)")
+    p.add_argument("--min-kill-rate", type=float, default=0.9,
+                   help="fail unless this fraction of ALU/branch mutants die")
+    p.add_argument("--out", default="BENCH_mutation.json", metavar="FILE",
+                   help="detection-strength report path ('' to skip)")
+    p.set_defaults(func=cmd_mutate)
 
     p = sub.add_parser("disasm", help="disassemble a workload kernel")
     p.add_argument("kernel", choices=sorted(KERNELS))

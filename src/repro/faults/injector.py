@@ -58,6 +58,53 @@ from .models import ErrorRecord, Fault, FaultKind
 _CONVERGE_CHECK_START = 8
 
 
+# -- reusable single-fault perturbation (non-campaign callers) ---------------
+
+def flip_bit(cpu: Cpu, reg: str, bit: int) -> None:
+    """Invert one flip-flop bit of a live core (a soft-error event)."""
+    cpu.__dict__[reg] ^= 1 << bit
+
+
+def force_bit(cpu: Cpu, reg: str, bit: int, value: int) -> None:
+    """Force one flip-flop bit of a live core to ``value`` (stuck-at)."""
+    if value:
+        cpu.__dict__[reg] |= 1 << bit
+    else:
+        cpu.__dict__[reg] &= ~(1 << bit)
+
+
+class FaultDriver:
+    """Applies one :class:`~repro.faults.models.Fault` to a live core.
+
+    The campaign engine (:class:`InjectionEngine`) never simulates the
+    fault-free prefix, so it bakes the perturbation into a restored
+    snapshot.  Callers that *do* step a core cycle-by-cycle from reset
+    — the fault-fuzz harness, examples, ad-hoc experiments — need the
+    time-domain semantics instead: call :meth:`before_step` once per
+    cycle, immediately before ``cpu.step()``.
+
+    * ``SOFT``: the bit is inverted exactly once, before the cycle
+      ``fault.cycle`` evaluates;
+    * ``STUCK0``/``STUCK1``: the bit is forced before every cycle from
+      ``fault.cycle`` on, mirroring the engine's per-cycle re-assert.
+    """
+
+    __slots__ = ("fault", "_value")
+
+    def __init__(self, fault: Fault):
+        self.fault = fault
+        self._value = 1 if fault.kind is FaultKind.STUCK1 else 0
+
+    def before_step(self, cpu: Cpu, cycle: int) -> None:
+        """Perturb ``cpu`` for the cycle about to evaluate."""
+        fault = self.fault
+        if fault.kind is FaultKind.SOFT:
+            if cycle == fault.cycle:
+                flip_bit(cpu, fault.flop.reg, fault.flop.bit)
+        elif cycle >= fault.cycle:
+            force_bit(cpu, fault.flop.reg, fault.flop.bit, self._value)
+
+
 class PruneStats:
     """Counters describing how much work liveness pruning avoided.
 

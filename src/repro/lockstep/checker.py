@@ -16,6 +16,31 @@ from ..cpu.core import NUM_SCS
 from .categories import diverged_set, dsr_value, expand_ports
 
 
+def port_equal(outputs_a: tuple[int, ...], outputs_b: tuple[int, ...]) -> bool:
+    """The checker's per-cycle comparison: are the two port vectors equal?
+
+    A module-level hook on purpose: both checkers resolve it at call
+    time through this module's globals, so the mutation-testing harness
+    (:mod:`repro.verify.mutation`) can plant a broken comparator — a
+    dropped port comparison, a masked bit — and measure whether the
+    fault-fuzz flow notices.  Production semantics are exact tuple
+    equality over whatever representation arrived (compact port tuples
+    or 62-SC vectors; both sides must match).
+    """
+    return outputs_a == outputs_b
+
+
+def checker_diverged(outputs_a: tuple[int, ...],
+                     outputs_b: tuple[int, ...]) -> frozenset[int]:
+    """Diverged SC set the checker freezes into the DSR on detection.
+
+    Like :func:`port_equal`, a late-bound mutation hook: ``diverged_set``
+    is looked up in this module's globals so a planted off-by-one in the
+    SC extraction is observable through every checker-driven flow.
+    """
+    return diverged_set(_as_sc_vector(outputs_a), _as_sc_vector(outputs_b))
+
+
 def _as_sc_vector(outputs: tuple[int, ...]) -> tuple[int, ...]:
     """Normalise checker input to the 62-SC vector.
 
@@ -69,9 +94,8 @@ class LockstepChecker:
         """
         if self.state.error:
             return True
-        if outputs_a != outputs_b:
-            diverged = diverged_set(_as_sc_vector(outputs_a),
-                                    _as_sc_vector(outputs_b))
+        if not port_equal(outputs_a, outputs_b):
+            diverged = checker_diverged(outputs_a, outputs_b)
             self.state = CheckerState(
                 error=True,
                 error_cycle=self._cycle,
@@ -124,7 +148,7 @@ class VotingChecker:
             return True
         if len(outputs) != self.n_cores:
             raise ValueError(f"expected {self.n_cores} output vectors")
-        if all(o == outputs[0] for o in outputs[1:]):
+        if all(port_equal(o, outputs[0]) for o in outputs[1:]):
             self._cycle += 1
             return False
         outputs = [_as_sc_vector(o) for o in outputs]

@@ -3,10 +3,14 @@
 The correctness safety net under every campaign number: a single-step
 architectural reference model (:mod:`refmodel`), a constrained-random
 hazard-stressing program generator (:mod:`progen`), a co-simulation
-driver with a delta-debugging shrinker (:mod:`diff`) and session
-coverage accounting (:mod:`coverage`).  Entry points::
+driver with a delta-debugging shrinker (:mod:`diff`), session coverage
+accounting (:mod:`coverage`), fuzz-under-fault-injection
+(:mod:`faultfuzz`) and mutation testing of the whole stack
+(:mod:`mutation`).  Entry points::
 
     python -m repro fuzz --programs 2000 --seed 0
+    python -m repro fuzz --inject --programs 200 --seed 0
+    python -m repro mutate
 
     from repro.verify import cosim, generate_program
     assert cosim(generate_program(42)).ok
@@ -14,14 +18,26 @@ coverage accounting (:mod:`coverage`).  Entry points::
 
 from .coverage import REQUIRED_EVENT_BINS, Coverage
 from .diff import (
+    ARTIFACTS_ENV,
     DEFAULT_MAX_CYCLES,
     CosimResult,
     FuzzFailure,
     FuzzReport,
     Mismatch,
     cosim,
+    effective_memory,
+    load_repro,
+    resolve_artifacts_dir,
     run_fuzz,
     shrink,
+)
+from .faultfuzz import FaultFuzzReport, FaultOutcome, run_faultfuzz
+from .mutation import (
+    Mutant,
+    MutationReport,
+    default_mutants,
+    run_mutation,
+    write_report,
 )
 from .progen import (
     DATA_BASE,
@@ -29,6 +45,7 @@ from .progen import (
     Block,
     FuzzProgram,
     Line,
+    adaptive_weights,
     generate_program,
     program_strategy,
 )
@@ -36,9 +53,13 @@ from .refmodel import RefModel, cause_name
 
 __all__ = [
     "REQUIRED_EVENT_BINS", "Coverage",
-    "DEFAULT_MAX_CYCLES", "CosimResult", "FuzzFailure", "FuzzReport",
-    "Mismatch", "cosim", "run_fuzz", "shrink",
+    "ARTIFACTS_ENV", "DEFAULT_MAX_CYCLES", "CosimResult", "FuzzFailure",
+    "FuzzReport", "Mismatch", "cosim", "effective_memory", "load_repro",
+    "resolve_artifacts_dir", "run_fuzz", "shrink",
+    "FaultFuzzReport", "FaultOutcome", "run_faultfuzz",
+    "Mutant", "MutationReport", "default_mutants", "run_mutation",
+    "write_report",
     "DATA_BASE", "FUZZ_MEM_WORDS", "Block", "FuzzProgram", "Line",
-    "generate_program", "program_strategy",
+    "adaptive_weights", "generate_program", "program_strategy",
     "RefModel", "cause_name",
 ]

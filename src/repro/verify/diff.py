@@ -24,6 +24,7 @@ session and dumps shrunken artifacts to disk.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -33,13 +34,38 @@ from ..cpu.core import Cpu
 from ..cpu.isa import EncodingError
 from ..cpu.memory import InputStream, Memory
 from .coverage import Coverage
-from .progen import FUZZ_MEM_WORDS, FuzzProgram, generate_program
+from .progen import (FUZZ_MEM_WORDS, FuzzProgram, adaptive_weights,
+                     generate_program)
 from .refmodel import RefModel
 
 #: Default pipeline cycle budget per program.  Generated programs
 #: retire well under a quarter of this, so a pipeline that reaches the
 #: budget while the reference model halts is a genuine liveness bug.
 DEFAULT_MAX_CYCLES = 30_000
+
+#: Environment override for where fuzz repro artifacts land; the CLI
+#: and the test suite's conftest plumb explicit directories through it
+#: so nothing ever writes into an arbitrary caller cwd.
+ARTIFACTS_ENV = "REPRO_FUZZ_ARTIFACTS"
+
+#: Sentinel: "caller gave no directory — resolve env var, else default".
+_UNSET = object()
+
+
+def resolve_artifacts_dir(value=_UNSET) -> Path | None:
+    """Resolve where repro artifacts go.
+
+    Explicit ``value`` wins (``None`` disables dumping); otherwise the
+    ``REPRO_FUZZ_ARTIFACTS`` environment variable (empty string
+    disables); otherwise the historical ``fuzz_artifacts/`` relative to
+    the current directory.
+    """
+    if value is not _UNSET:
+        return None if value is None else Path(value)
+    env = os.environ.get(ARTIFACTS_ENV)
+    if env is not None:
+        return Path(env) if env else None
+    return Path("fuzz_artifacts")
 
 
 @dataclass(frozen=True)
@@ -173,18 +199,7 @@ def cosim(prog: FuzzProgram | str, stimulus: list[int] | None = None, *,
             f"{k}: {cpu_state[k]:#x}!={ref_state[k]:#x}" for k in bad[:6])
         mm.append(Mismatch("arch-state", detail))
 
-    pipe_words = cpu.mem.words
-    pending = cpu.pending_store()
-    if pending is not None:
-        addr, data, is_byte = pending
-        pipe_words = list(pipe_words)
-        idx = (addr >> 2) % len(pipe_words)
-        if is_byte:
-            shift = (addr & 3) * 8
-            pipe_words[idx] = (pipe_words[idx] & ~(0xFF << shift)) \
-                | ((data & 0xFF) << shift)
-        else:
-            pipe_words[idx] = data & 0xFFFFFFFF
+    pipe_words = effective_memory(cpu)
     if pipe_words != ref.mem.words:
         i = _first_diff(pipe_words, ref.mem.words)
         mm.append(Mismatch(
@@ -192,6 +207,29 @@ def cosim(prog: FuzzProgram | str, stimulus: list[int] | None = None, *,
             f"word {i:#x} (byte {4 * i:#x}): pipeline "
             f"{pipe_words[i]:#010x} vs reference {ref.mem.words[i]:#010x}"))
     return result
+
+
+def effective_memory(cpu: Cpu) -> list[int]:
+    """The architecturally-committed memory image of a halted core.
+
+    ``HALT`` can strand one committed store in the store buffer; the
+    ISA contract includes it, so fold it into the raw word array before
+    comparing against the reference model.
+    """
+    words = cpu.mem.words
+    pending = cpu.pending_store()
+    if pending is None:
+        return words
+    addr, data, is_byte = pending
+    words = list(words)
+    idx = (addr >> 2) % len(words)
+    if is_byte:
+        shift = (addr & 3) * 8
+        words[idx] = (words[idx] & ~(0xFF << shift)) \
+            | ((data & 0xFF) << shift)
+    else:
+        words[idx] = data & 0xFFFFFFFF
+    return words
 
 
 def _fmt_retire(rec) -> str:
@@ -335,24 +373,40 @@ class FuzzReport:
 def run_fuzz(programs: int = 200, seed: int = 0, *,
              max_cycles: int = DEFAULT_MAX_CYCLES,
              do_shrink: bool = True,
-             artifacts_dir: str | Path | None = "fuzz_artifacts",
+             artifacts_dir: str | Path | None = _UNSET,
              coverage: Coverage | None = None,
              min_blocks: int = 4, max_blocks: int = 10,
+             adapt: bool = False, adapt_batch: int = 50,
              progress: bool = False) -> FuzzReport:
     """Run a differential fuzz session of ``programs`` random programs.
 
     Every mismatch is delta-debugged to a minimal repro and dumped as
-    an annotated ``.s`` artifact under ``artifacts_dir`` (set ``None``
-    to skip the dump).  Program ``i`` derives its generator stream
-    from ``f"{seed}:{i}"``, so any failure reproduces standalone.
+    an annotated ``.s`` artifact under ``artifacts_dir`` — explicit
+    path wins, else the ``REPRO_FUZZ_ARTIFACTS`` environment variable,
+    else ``fuzz_artifacts/`` (``None`` / empty env disables the dump).
+    Program ``i`` derives its generator stream from ``f"{seed}:{i}"``,
+    so any failure reproduces standalone.
+
+    ``adapt=True`` turns on coverage-directed generation: after every
+    ``adapt_batch`` programs the template weights are re-derived from
+    the session's event-bin deficits (:func:`adaptive_weights`), so
+    rare mechanisms — MPU faults, IRQ-in-shadow — attract probability
+    as common bins saturate.  Still deterministic for a fixed
+    ``(programs, seed, adapt_batch)``, but a program's shape then
+    depends on the batch history, so reproduce failures via the dumped
+    artifact rather than the bare seed.
     """
     cov = coverage if coverage is not None else Coverage()
+    art_dir = resolve_artifacts_dir(artifacts_dir)
     failures: list[FuzzFailure] = []
     hung = unsupported = 0
+    weights = None
     t0 = time.perf_counter()
     for i in range(programs):
+        if adapt and i and not i % adapt_batch:
+            weights = adaptive_weights(cov.event_bins())
         prog = generate_program(f"{seed}:{i}", min_blocks=min_blocks,
-                                max_blocks=max_blocks)
+                                max_blocks=max_blocks, weights=weights)
         result = cosim(prog, max_cycles=max_cycles, coverage=cov)
         hung += result.hung_both
         unsupported += result.unsupported
@@ -365,9 +419,9 @@ def run_fuzz(programs: int = 200, seed: int = 0, *,
                 source=final.source(),
                 instructions=final.instruction_count(),
             )
-            if artifacts_dir is not None:
+            if art_dir is not None:
                 failure.artifact = _dump_artifact(
-                    Path(artifacts_dir), seed, i, prog, failure)
+                    art_dir, seed, i, prog, failure)
             failures.append(failure)
         if progress and not (i + 1) % 200:
             print(f"[fuzz] {i + 1}/{programs} programs, "
@@ -375,6 +429,22 @@ def run_fuzz(programs: int = 200, seed: int = 0, *,
     return FuzzReport(programs=programs, failures=failures, coverage=cov,
                       hung_both=hung, unsupported=unsupported,
                       wall_seconds=time.perf_counter() - t0)
+
+
+def load_repro(path: str | Path) -> tuple[str, list[int]]:
+    """Parse a dumped repro artifact back into ``(source, stimulus)``.
+
+    The corpus replay tests use this to run checked-in ``.s`` artifacts
+    straight back through :func:`cosim` — the ``; stimulus:`` header
+    line written by :func:`_dump_artifact` carries the input stream.
+    """
+    text = Path(path).read_text()
+    stimulus = [0]
+    for line in text.splitlines():
+        if line.startswith("; stimulus:"):
+            stimulus = [int(tok, 0) for tok in line.split(":", 1)[1].split()]
+            break
+    return text, stimulus
 
 
 def _dump_artifact(directory: Path, seed: int, index: int,

@@ -1,0 +1,400 @@
+"""Mutation testing of the verification stack itself.
+
+Fuzzers and checkers rot silently: a comparison that stops comparing
+still passes every test that assumes bugs are absent.  This module
+measures *detection strength* directly by planting known bugs
+(**mutants**) and counting how many fuzz programs each needs to die:
+
+* **ALU / branch mutants** corrupt one opcode in the reference model's
+  monkeypatchable dispatch tables (:data:`repro.verify.refmodel.ALU_EVAL`
+  / :data:`BRANCH_EVAL`) — a stand-in for a semantic bug on either side
+  of the differential fence.  A mutant is *killed* when plain
+  :func:`repro.verify.diff.cosim` fuzzing reports its first mismatch.
+* **Checker mutants** break the lockstep comparator itself through the
+  late-bound hooks in :mod:`repro.lockstep.checker` — a dropped port
+  comparison, a masked bit, an off-by-one in the diverged-SC
+  extraction.  Plain fuzzing can never see these (both cores are
+  fault-free), so each is judged under fuzz-with-fault-injection
+  (:mod:`repro.verify.faultfuzz`): the mutant is killed by the first
+  program whose per-fault outcomes (classification, detection cycle,
+  diverged-SC set) differ from the unmutated baseline.
+
+The session produces a **detection-strength curve** — fraction of
+mutants killed within N programs — written to ``BENCH_mutation.json``
+so verification strength is a tracked trajectory alongside the
+campaign perf benchmarks.  Mutants expected to survive carry an
+``escape_rationale`` and are reported as *documented escapes*; a
+survivor without one fails the session (that is the mutation-testing
+alarm going off).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..cpu.isa import Op
+from ..lockstep import checker as checker_mod
+from . import refmodel as rm
+from .diff import DEFAULT_MAX_CYCLES, cosim
+from .faultfuzz import _golden_run, _state_diff, run_one_fault, sample_faults
+from .progen import FUZZ_MEM_WORDS, generate_program
+from .refmodel import MASK32, RefModel, _sx
+
+#: Program counts at which the detection-strength curve is sampled.
+CURVE_POINTS = (1, 2, 5, 10, 20, 50, 100, 150, 200)
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One plantable bug.
+
+    ``target``/``key`` name the patch point: an ``ALU_EVAL`` /
+    ``BRANCH_EVAL`` dict entry (``key`` = opcode int) or an attribute
+    of :mod:`repro.lockstep.checker` (``key`` = attribute name).
+    ``escape_rationale`` marks a mutant we *expect* the harness cannot
+    kill, with the justification that makes the escape acceptable.
+    """
+
+    name: str
+    kind: str               #: "alu" | "branch" | "checker"
+    description: str
+    key: object
+    fn: object
+    escape_rationale: str = ""
+
+    def apply(self):
+        """Plant the bug; returns a zero-arg revert callable."""
+        if self.kind == "checker":
+            target = checker_mod
+            attr = self.key
+            if "." in attr:                 # e.g. "VotingChecker.vote"
+                cls, attr = attr.split(".", 1)
+                target = getattr(checker_mod, cls)
+            original = getattr(target, attr)
+            setattr(target, attr, self.fn)
+            return lambda: setattr(target, attr, original)
+        table = rm.ALU_EVAL if self.kind == "alu" else rm.BRANCH_EVAL
+        original = table[self.key]
+        table[self.key] = self.fn
+        def revert(table=table, key=self.key, original=original):
+            table[key] = original
+        return revert
+
+
+# -- the mutant pool ----------------------------------------------------------
+
+def _drop_port(index: int):
+    """A ``port_equal`` that never compares compact port ``index``."""
+    def unequal_except(a, b, _i=index):
+        for j, (x, y) in enumerate(zip(a, b)):
+            if x != y and j != _i:
+                return False
+        return True
+    return unequal_except
+
+
+def _mask_ev_sys_low(a, b):
+    """``port_equal`` blind to ev_sys bit 0 (the in-exception flag)."""
+    return a[:16] + (a[16] & ~1,) + a[17:] == b[:16] + (b[16] & ~1,) + b[17:]
+
+
+def _diverged_off_by_one(vec_a, vec_b):
+    """``diverged_set`` whose SC indices are shifted up by one."""
+    from ..lockstep.categories import NUM_SCS
+    return frozenset(min(sc + 1, NUM_SCS - 1)
+                     for sc in range(NUM_SCS) if vec_a[sc] != vec_b[sc])
+
+
+def _vote_min(self, outputs):
+    """A broken majority: always picks the smallest per-SC value."""
+    from ..lockstep.categories import NUM_SCS
+    return tuple(min(o[sc] for o in outputs) for sc in range(NUM_SCS))
+
+
+def default_mutants() -> tuple[Mutant, ...]:
+    """The standard pool: 8 ALU, 4 branch, 6 checker mutants."""
+    return (
+        # -- ALU: single-opcode semantic bugs in the dispatch table --
+        Mutant("alu_xor_flip", "alu", "XOR result low bit inverted",
+               int(Op.XOR), lambda a, b: ((a ^ b) ^ 1, 0, 0)),
+        Mutant("alu_sub_swapped", "alu", "SUB computes b - a",
+               int(Op.SUB), lambda a, b: rm._ev_sub(b, a)),
+        Mutant("alu_and_to_or", "alu", "AND computes a | b",
+               int(Op.AND), lambda a, b: (a | b, 0, 0)),
+        Mutant("alu_shl_amount", "alu", "SHL shifts by (b + 1) & 31",
+               int(Op.SHL), lambda a, b: ((a << ((b + 1) & 31)) & MASK32, 0, 0)),
+        Mutant("alu_sra_logical", "alu", "SRA loses the sign extension",
+               int(Op.SRA), lambda a, b: (a >> (b & 31), 0, 0)),
+        Mutant("alu_slt_unsigned", "alu", "SLT compares unsigned",
+               int(Op.SLT), lambda a, b: ((1 if a < b else 0), 0, 0)),
+        Mutant("alu_ori_drop_low", "alu", "ORI clears result bit 0",
+               int(Op.ORI), lambda a, b: ((a | b) & ~1 & MASK32, 0, 0)),
+        Mutant("alu_add_carry_stuck", "alu",
+               "ADD carry flag stuck at 0 (result intact)",
+               int(Op.ADD), lambda a, b: (rm._ev_add(a, b)[0], 0,
+                                          rm._ev_add(a, b)[2])),
+        # -- branch: comparator bugs --
+        Mutant("br_beq_inverted", "branch", "BEQ takes on inequality",
+               int(Op.BEQ), lambda a, b: a != b),
+        Mutant("br_blt_unsigned", "branch", "BLT compares unsigned",
+               int(Op.BLT), lambda a, b: a < b),
+        Mutant("br_bge_strict", "branch", "BGE drops the equality case",
+               int(Op.BGE), lambda a, b: _sx(a) > _sx(b)),
+        Mutant("br_bgeu_swapped", "branch", "BGEU compares b >= a",
+               int(Op.BGEU), lambda a, b: b >= a),
+        # -- checker: broken comparator / DSR extraction --
+        Mutant("chk_drop_ret_val", "checker",
+               "checker never compares the retire-value port",
+               "port_equal", _drop_port(13)),
+        Mutant("chk_drop_io_out", "checker",
+               "checker never compares the OUT-data port",
+               "port_equal", _drop_port(10)),
+        Mutant("chk_drop_imc_pred", "checker",
+               "checker never compares the BTB-prediction bit",
+               "port_equal", _drop_port(2)),
+        Mutant("chk_mask_ev_sys_low", "checker",
+               "checker blind to the in-exception status bit",
+               "port_equal", _mask_ev_sys_low),
+        Mutant("chk_dsr_off_by_one", "checker",
+               "DSR diverged-SC indices shifted up by one",
+               "diverged_set", _diverged_off_by_one),
+        Mutant("chk_voter_min_majority", "checker",
+               "TMR voter picks the minimum instead of the majority",
+               "VotingChecker.vote", _vote_min,
+               escape_rationale="the fault-fuzz harness drives a DMR pair "
+               "through LockstepChecker only; the TMR voter is never on the "
+               "detection path, so no DMR fuzz budget can kill a voter-only "
+               "mutant — killing it needs an MMR fault-fuzz harness "
+               "(tracked in ROADMAP)"),
+    )
+
+
+# -- kill engines -------------------------------------------------------------
+
+def kill_by_cosim(mutant: Mutant, seed: int, max_programs: int, *,
+                  max_cycles: int = DEFAULT_MAX_CYCLES) -> int | None:
+    """Fuzz until plain co-simulation flags the mutant; None = survived.
+
+    Returns the 1-based count of programs consumed (the kill cost).
+    """
+    revert = mutant.apply()
+    try:
+        for i in range(max_programs):
+            prog = generate_program(f"{seed}:{i}")
+            if not cosim(prog, max_cycles=max_cycles).ok:
+                return i + 1
+        return None
+    finally:
+        revert()
+
+
+class _FaultSession:
+    """Shared per-program fault-fuzz contexts for checker mutants.
+
+    The golden trace, reference final state and the *unmutated*
+    baseline outcomes of each program are computed once and reused by
+    every checker mutant — only the mutated re-run is per-mutant.
+    """
+
+    def __init__(self, seed: int, *, faults_per_program: int = 4,
+                 max_cycles: int = DEFAULT_MAX_CYCLES):
+        self.seed = seed
+        self.faults_per_program = faults_per_program
+        self.max_cycles = max_cycles
+        self._ctx: dict[int, tuple | None] = {}
+        self._baseline: dict[int, tuple] = {}
+
+    def _context(self, i: int):
+        if i in self._ctx:
+            return self._ctx[i]
+        from ..cpu.assembler import assemble
+        from ..cpu.memory import InputStream, Memory
+
+        prog = generate_program(f"{self.seed}:{i}")
+        program = assemble(prog.source())
+        g_ports, g_frozen, g_cpu, cycles = _golden_run(
+            program, prog.stimulus, self.max_cycles)
+        ref = RefModel(Memory.from_program(program, size_words=FUZZ_MEM_WORDS),
+                       InputStream(prog.stimulus), entry=program.entry)
+        ref.run(max_steps=self.max_cycles)
+        ref_state = ref.arch_state()
+        ref_words = ref.mem.words
+        ctx = None
+        if (g_cpu.halted and ref.halted
+                and not _state_diff(g_cpu, ref_state, ref_words)):
+            faults = sample_faults(self.seed, i, cycles,
+                                   self.faults_per_program)
+            ctx = (program, prog.stimulus, faults, g_ports, g_frozen,
+                   ref_state, ref_words)
+        self._ctx[i] = ctx
+        return ctx
+
+    def outcomes(self, i: int) -> tuple | None:
+        """Outcome fingerprints of program ``i`` under the *current*
+        (possibly mutated) checker; None for unusable programs."""
+        ctx = self._context(i)
+        if ctx is None:
+            return None
+        program, stimulus, faults, g_ports, g_frozen, ref_state, ref_words = ctx
+        fps = []
+        for fault in faults:
+            o = run_one_fault(program, stimulus, fault, g_ports, g_frozen,
+                              ref_state, ref_words, program_index=i)
+            fps.append((o.classification, o.detect_cycle, tuple(sorted(o.diverged))))
+        return tuple(fps)
+
+    def baseline(self, i: int) -> tuple | None:
+        """Unmutated fingerprints (must be called with no mutant live)."""
+        if i not in self._baseline:
+            self._baseline[i] = self.outcomes(i)
+        return self._baseline[i]
+
+
+def kill_by_faultfuzz(mutant: Mutant, session: _FaultSession,
+                      max_programs: int) -> int | None:
+    """Fault-fuzz until the mutated checker's outcomes diverge from the
+    baseline; None = survived ``max_programs`` programs."""
+    for i in range(max_programs):
+        base = session.baseline(i)     # computed unmutated
+        if base is None:
+            continue
+        revert = mutant.apply()
+        try:
+            mutated = session.outcomes(i)
+        finally:
+            revert()
+        if mutated != base:
+            return i + 1
+    return None
+
+
+# -- session driver -----------------------------------------------------------
+
+@dataclass
+class MutationReport:
+    """Result of one mutation-testing session."""
+
+    seed: int
+    max_programs: int
+    checker_programs: int
+    results: list[dict]
+    wall_seconds: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def killed(self) -> list[dict]:
+        return [r for r in self.results if r["killed_at"] is not None]
+
+    @property
+    def survivors(self) -> list[dict]:
+        return [r for r in self.results if r["killed_at"] is None]
+
+    @property
+    def undocumented_survivors(self) -> list[dict]:
+        """Survivors with no escape rationale — the failure signal."""
+        return [r for r in self.survivors if not r["escape_rationale"]]
+
+    def kill_rate(self, kinds: tuple[str, ...] = ("alu", "branch", "checker")
+                  ) -> float:
+        pool = [r for r in self.results if r["kind"] in kinds]
+        if not pool:
+            return 1.0
+        return sum(r["killed_at"] is not None for r in pool) / len(pool)
+
+    def curve(self) -> list[tuple[int, float]]:
+        """Detection strength: fraction of mutants killed within N."""
+        n = max(len(self.results), 1)
+        return [(p, sum(1 for r in self.results
+                        if r["killed_at"] is not None and r["killed_at"] <= p) / n)
+                for p in CURVE_POINTS if p <= self.max_programs]
+
+    def to_json(self) -> dict:
+        return {
+            "schema": 1,
+            "seed": self.seed,
+            "max_programs": self.max_programs,
+            "checker_programs": self.checker_programs,
+            "mutants": self.results,
+            "curve": [[p, round(f, 4)] for p, f in self.curve()],
+            "kill_rate": round(self.kill_rate(), 4),
+            "alu_branch_kill_rate": round(self.kill_rate(("alu", "branch")), 4),
+            "checker_kill_rate": round(self.kill_rate(("checker",)), 4),
+            "documented_escapes": [
+                {"name": r["name"], "rationale": r["escape_rationale"]}
+                for r in self.survivors if r["escape_rationale"]],
+            "undocumented_survivors": [r["name"]
+                                       for r in self.undocumented_survivors],
+            "wall_seconds": round(self.wall_seconds, 3),
+            "meta": self.meta,
+        }
+
+    def report(self) -> str:
+        lines = ["== mutation testing =="]
+        for r in self.results:
+            if r["killed_at"] is not None:
+                verdict = f"killed at program {r['killed_at']}"
+            elif r["escape_rationale"]:
+                verdict = f"documented escape ({r['escape_rationale']})"
+            else:
+                verdict = "SURVIVED — undocumented!"
+            lines.append(f"  {r['name']:24s} [{r['kind']:7s}] {verdict}")
+        lines.append(
+            f"kill rate: {100 * self.kill_rate():.1f}% overall, "
+            f"{100 * self.kill_rate(('alu', 'branch')):.1f}% alu/branch, "
+            f"{100 * self.kill_rate(('checker',)):.1f}% checker")
+        lines.append("curve (N programs -> fraction killed): " + "  ".join(
+            f"{p}:{f:.2f}" for p, f in self.curve()))
+        return "\n".join(lines)
+
+
+def run_mutation(seed: int = 0, *, max_programs: int = 200,
+                 checker_programs: int = 200,
+                 faults_per_program: int = 4,
+                 mutants: tuple[Mutant, ...] | None = None,
+                 max_cycles: int = DEFAULT_MAX_CYCLES,
+                 progress: bool = False) -> MutationReport:
+    """Run the full mutation-testing session.
+
+    ALU/branch mutants fuzz up to ``max_programs`` plain cosim
+    programs; checker mutants fault-fuzz up to ``checker_programs``
+    (each costs a golden run plus ``faults_per_program`` fault runs,
+    shared across mutants via one :class:`_FaultSession`).
+    """
+    pool = mutants if mutants is not None else default_mutants()
+    session = _FaultSession(seed, faults_per_program=faults_per_program,
+                            max_cycles=max_cycles)
+    results: list[dict] = []
+    t0 = time.perf_counter()
+    for mutant in pool:
+        if mutant.kind == "checker":
+            killed_at = kill_by_faultfuzz(mutant, session, checker_programs)
+        else:
+            killed_at = kill_by_cosim(mutant, seed, max_programs,
+                                      max_cycles=max_cycles)
+        results.append({
+            "name": mutant.name, "kind": mutant.kind,
+            "description": mutant.description,
+            "killed_at": killed_at,
+            "escape_rationale": mutant.escape_rationale,
+        })
+        if progress:
+            state = (f"killed@{killed_at}" if killed_at is not None
+                     else "survived")
+            print(f"[mutate] {mutant.name}: {state}", flush=True)
+    return MutationReport(
+        seed=seed, max_programs=max_programs,
+        checker_programs=checker_programs, results=results,
+        wall_seconds=time.perf_counter() - t0,
+        meta={"faults_per_program": faults_per_program,
+              "n_mutants": len(pool)})
+
+
+def write_report(report: MutationReport,
+                 path: str | Path = "BENCH_mutation.json") -> Path:
+    """Serialise the session to its tracked JSON artifact."""
+    path = Path(path)
+    path.write_text(json.dumps(report.to_json(), indent=2) + "\n")
+    return path

@@ -380,9 +380,65 @@ _TEMPLATE_WEIGHTS = (
 )
 
 
+#: Pipeline-event bin -> templates engineered to hit it.  The mapping
+#: drives :func:`adaptive_weights`: a bin the session under-hits boosts
+#: exactly the templates that can fill it.
+_BIN_TEMPLATES: dict[str, tuple[str, ...]] = {
+    "flush": ("loop", "fwd"),
+    "stall": ("mul",),
+    "sb_drain": ("mem",),
+    "btb_hit": ("loop", "call"),
+    "btb_miss": ("loop", "fwd", "call"),
+    "branch_taken": ("loop", "fwd"),
+    "branch_not_taken": ("loop", "fwd"),
+    "exc_IRQ": ("irq",),
+    "exc_BKPT": ("bkpt",),
+    "exc_WATCH": ("watch",),
+    "exc_MPU": ("mpu",),
+}
+
+
+def adaptive_weights(bins: dict[str, int],
+                     base: tuple[tuple[str, float], ...] = _TEMPLATE_WEIGHTS,
+                     *, boost: float = 4.0) -> tuple[tuple[str, float], ...]:
+    """Coverage-directed template reweighting.
+
+    ``bins`` is :meth:`repro.verify.coverage.Coverage.event_bins` —
+    counts per required pipeline-event bin.  Each template's weight is
+    multiplied by ``1 + boost * rarity`` where *rarity* is the worst
+    (largest) relative deficit across the bins it feeds: ``1 -
+    count/median`` clamped to ``[0, 1]``.  A bin at or above the median
+    contributes nothing; an empty bin pulls its templates up by the
+    full ``1 + boost``.  Templates feeding no tracked bin keep their
+    base weight.
+
+    The result is always a valid sampling distribution: same template
+    names in the same order, every weight finite and strictly positive
+    (property-tested over adversarial bin counts).
+    """
+    counts = sorted(bins.get(name, 0) for name in _BIN_TEMPLATES)
+    median = counts[len(counts) // 2] if counts else 0
+    rarity: dict[str, float] = {}
+    for bin_name, templates in _BIN_TEMPLATES.items():
+        count = bins.get(bin_name, 0)
+        deficit = 1.0 - count / median if median > 0 else (1.0 if not count else 0.0)
+        deficit = min(max(deficit, 0.0), 1.0)
+        for t in templates:
+            rarity[t] = max(rarity.get(t, 0.0), deficit)
+    return tuple((name, float(w) * (1.0 + boost * rarity.get(name, 0.0)))
+                 for name, w in base)
+
+
 def generate_program(seed: object, min_blocks: int = 4,
-                     max_blocks: int = 10) -> FuzzProgram:
-    """Generate one terminating random program for the given seed."""
+                     max_blocks: int = 10, *,
+                     weights: tuple[tuple[str, float], ...] | None = None
+                     ) -> FuzzProgram:
+    """Generate one terminating random program for the given seed.
+
+    ``weights`` overrides the static template distribution (same names,
+    any positive weights) — the hook coverage-directed generation uses
+    to steer later batches toward under-covered event bins.
+    """
     rng = random.Random(str(seed))
     gen = _Gen(rng)
 
@@ -398,12 +454,13 @@ def generate_program(seed: object, min_blocks: int = 4,
             init_lines.append(Line(f"    addi r{reg}, r0, {rng.randrange(-8192, 8192)}"))
     init = Block("init", init_lines)
 
-    names = [name for name, _ in _TEMPLATE_WEIGHTS]
-    weights = [w for _, w in _TEMPLATE_WEIGHTS]
+    table = _TEMPLATE_WEIGHTS if weights is None else weights
+    names = [name for name, _ in table]
+    dist = [w for _, w in table]
     body: list[Block] = []
     subs: list[Block] = []
     for _ in range(rng.randrange(min_blocks, max_blocks + 1)):
-        kind = rng.choices(names, weights=weights, k=1)[0]
+        kind = rng.choices(names, weights=dist, k=1)[0]
         if kind == "call":
             call, sub = gen.block_call()
             body.append(call)

@@ -9,6 +9,8 @@ Also owns the test-harness policy knobs:
 * **Golden-trace cache isolation** — an autouse session fixture points
   ``REPRO_GOLDEN_CACHE`` at a per-session tmp dir, so running the test
   suite never writes (or reads) the repo-level ``.golden_cache/``.
+* **Fuzz-artifact isolation** — likewise ``REPRO_FUZZ_ARTIFACTS`` is
+  pointed at a tmp dir so shrunken repros never land in the checkout.
 """
 
 from __future__ import annotations
@@ -39,6 +41,20 @@ def _isolated_golden_cache(tmp_path_factory: pytest.TempPathFactory):
         os.environ.pop(GOLDEN_CACHE_ENV, None)
     else:
         os.environ[GOLDEN_CACHE_ENV] = previous
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_fuzz_artifacts(tmp_path_factory: pytest.TempPathFactory):
+    """Point fuzz repro dumps at a tmp dir, never the caller's cwd."""
+    from repro.verify.diff import ARTIFACTS_ENV
+
+    previous = os.environ.get(ARTIFACTS_ENV)
+    os.environ[ARTIFACTS_ENV] = str(tmp_path_factory.mktemp("fuzz_artifacts"))
+    yield
+    if previous is None:
+        os.environ.pop(ARTIFACTS_ENV, None)
+    else:
+        os.environ[ARTIFACTS_ENV] = previous
 
 #: A minimal exception-safe program skeleton used across tests.
 PROLOGUE = """

@@ -9,20 +9,26 @@ real pipeline bug would go through, without needing one.
 
 from __future__ import annotations
 
+import math
+from pathlib import Path
+
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 import repro.verify.refmodel as rm
 from repro.cpu.isa import Op
 from repro.verify import (
     REQUIRED_EVENT_BINS,
     Coverage,
+    adaptive_weights,
     cosim,
     generate_program,
     program_strategy,
     run_fuzz,
     shrink,
 )
+from repro.verify.progen import _TEMPLATE_WEIGHTS
 
 
 # ---------------------------------------------------------------------------
@@ -154,3 +160,114 @@ def test_shrink_requires_a_failing_program():
     assert cosim(prog).ok
     with pytest.raises(ValueError):
         shrink(prog)
+
+
+# ---------------------------------------------------------------------------
+# Coverage-directed generation (adaptive template weights).
+# ---------------------------------------------------------------------------
+
+_bins_strategy = st.fixed_dictionaries(
+    {}, optional={name: st.integers(min_value=0, max_value=10**9)
+                  for name in REQUIRED_EVENT_BINS})
+
+
+@given(_bins_strategy)
+def test_adaptive_weights_preserve_a_valid_distribution(bins):
+    """For *any* event-bin histogram — empty, saturated, adversarially
+    lopsided — the reweighting must stay a valid sampling distribution:
+    same template names, same order, every weight finite and > 0."""
+    base = _TEMPLATE_WEIGHTS
+    reweighted = adaptive_weights(bins)
+    assert [n for n, _ in reweighted] == [n for n, _ in base]
+    for (_, w0), (_, w1) in zip(base, reweighted):
+        assert w1 > 0 and math.isfinite(w1)
+        assert w1 >= w0 - 1e-12          # boosts only, never suppresses
+
+
+def test_adaptive_weights_boost_underfed_bins():
+    # Everything saturated except MPU faults: only the mpu template
+    # (the sole feeder of exc_MPU) may gain weight.
+    bins = {name: 10_000 for name in REQUIRED_EVENT_BINS}
+    bins["exc_MPU"] = 0
+    base = dict(_TEMPLATE_WEIGHTS)
+    boosted = dict(adaptive_weights(bins))
+    assert boosted["mpu"] > base["mpu"]
+    for name in ("alu", "mem", "loop", "mul", "io", "csr", "bkpt", "irq"):
+        assert boosted[name] == pytest.approx(base[name])
+
+
+def test_adaptive_weights_neutral_when_balanced():
+    bins = {name: 500 for name in REQUIRED_EVENT_BINS}
+    assert dict(adaptive_weights(bins)) == pytest.approx(
+        {n: float(w) for n, w in _TEMPLATE_WEIGHTS})
+
+
+def test_generate_program_accepts_custom_weights():
+    heavy_mpu = tuple((n, 1000.0 if n == "mpu" else 0.001)
+                      for n, _ in _TEMPLATE_WEIGHTS)
+    prog = generate_program("w:1", weights=heavy_mpu)
+    kinds = {b.kind for b in prog.blocks}
+    assert "mpu" in kinds
+    # And the default path is untouched by the new parameter.
+    assert generate_program("w:1").source() == \
+        generate_program("w:1", weights=None).source()
+
+
+def test_run_fuzz_adapt_stays_clean_and_deterministic():
+    a = run_fuzz(programs=12, seed=5, artifacts_dir=None, adapt=True,
+                 adapt_batch=4, coverage=Coverage())
+    b = run_fuzz(programs=12, seed=5, artifacts_dir=None, adapt=True,
+                 adapt_batch=4, coverage=Coverage())
+    assert a.ok and b.ok
+    assert a.coverage.opcodes == b.coverage.opcodes
+    assert a.coverage.events == b.coverage.events
+
+
+# ---------------------------------------------------------------------------
+# Artifact directory plumbing (no cwd-relative dumps).
+# ---------------------------------------------------------------------------
+
+def _plant_xor_bug(monkeypatch):
+    monkeypatch.setitem(
+        rm.ALU_EVAL, int(Op.XOR),
+        lambda a, b: ((a ^ b) ^ 1, 0, 0))
+
+
+def test_artifacts_env_var_directs_dumps(monkeypatch, tmp_path):
+    _plant_xor_bug(monkeypatch)
+    target = tmp_path / "nested" / "dumps"
+    monkeypatch.setenv("REPRO_FUZZ_ARTIFACTS", str(target))
+    report = run_fuzz(programs=8, seed="demo")     # no explicit dir
+    assert not report.ok
+    artifact = report.failures[0].artifact
+    assert artifact is not None and artifact.parent == target
+    assert artifact.exists()
+
+
+def test_explicit_artifacts_dir_beats_env(monkeypatch, tmp_path):
+    _plant_xor_bug(monkeypatch)
+    monkeypatch.setenv("REPRO_FUZZ_ARTIFACTS", str(tmp_path / "env_dir"))
+    explicit = tmp_path / "explicit"
+    report = run_fuzz(programs=8, seed="demo", artifacts_dir=explicit)
+    assert not report.ok
+    assert report.failures[0].artifact.parent == explicit
+    assert not (tmp_path / "env_dir").exists()
+
+
+def test_empty_env_disables_dumps(monkeypatch):
+    _plant_xor_bug(monkeypatch)
+    monkeypatch.setenv("REPRO_FUZZ_ARTIFACTS", "")
+    report = run_fuzz(programs=8, seed="demo")
+    assert not report.ok
+    assert report.failures[0].artifact is None
+
+
+def test_resolve_artifacts_dir_precedence(monkeypatch, tmp_path):
+    from repro.verify.diff import resolve_artifacts_dir
+
+    monkeypatch.delenv("REPRO_FUZZ_ARTIFACTS", raising=False)
+    assert resolve_artifacts_dir() == Path("fuzz_artifacts")
+    monkeypatch.setenv("REPRO_FUZZ_ARTIFACTS", str(tmp_path))
+    assert resolve_artifacts_dir() == tmp_path
+    assert resolve_artifacts_dir(tmp_path / "x") == tmp_path / "x"
+    assert resolve_artifacts_dir(None) is None

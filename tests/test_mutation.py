@@ -1,0 +1,174 @@
+"""Mutation testing: apply/revert hygiene, kill engines, the report.
+
+The meta-level guarantee under test: planting a bug anywhere in the
+verification stack (reference ALU, branch comparator, lockstep
+checker) makes the fuzz flows fail fast — and un-planting it restores
+bit-identical behaviour, so mutation sessions can never leak a broken
+table into the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.lockstep.checker as checker_mod
+import repro.verify.refmodel as rm
+from repro.cpu.isa import Op
+from repro.verify import cosim, generate_program
+from repro.verify.mutation import (
+    _FaultSession,
+    default_mutants,
+    kill_by_cosim,
+    kill_by_faultfuzz,
+    run_mutation,
+    write_report,
+)
+
+
+def _by_name(name: str):
+    return next(m for m in default_mutants() if m.name == name)
+
+
+# ---------------------------------------------------------------------------
+# Apply / revert hygiene.
+# ---------------------------------------------------------------------------
+
+def test_alu_mutant_applies_and_reverts_cleanly():
+    mutant = _by_name("alu_xor_flip")
+    original = rm.ALU_EVAL[int(Op.XOR)]
+    revert = mutant.apply()
+    assert rm.ALU_EVAL[int(Op.XOR)] is mutant.fn
+    assert rm.ALU_EVAL[int(Op.XOR)](5, 3) == ((5 ^ 3) ^ 1, 0, 0)
+    revert()
+    assert rm.ALU_EVAL[int(Op.XOR)] is original
+
+
+def test_checker_mutant_applies_and_reverts_cleanly():
+    mutant = _by_name("chk_drop_ret_val")
+    original = checker_mod.port_equal
+    revert = mutant.apply()
+    a = tuple(range(18))
+    b = a[:13] + (999,) + a[14:]       # differs only in ret_val (port 13)
+    assert checker_mod.port_equal(a, b)         # the planted blindness
+    assert not checker_mod.port_equal(a, a[:0] + (1,) + a[1:])
+    revert()
+    assert checker_mod.port_equal is original
+    assert not checker_mod.port_equal(a, b)
+
+
+def test_voter_mutant_patches_the_class():
+    mutant = _by_name("chk_voter_min_majority")
+    original = checker_mod.VotingChecker.vote
+    revert = mutant.apply()
+    try:
+        voter = checker_mod.VotingChecker(3)
+        voted = voter.vote([(5,) * 62, (5,) * 62, (1,) * 62])
+        assert voted == (1,) * 62      # min, not the 5-majority
+    finally:
+        revert()
+    assert checker_mod.VotingChecker.vote is original
+
+
+def test_pool_shape():
+    pool = default_mutants()
+    kinds = {m.kind for m in pool}
+    assert kinds == {"alu", "branch", "checker"}
+    assert len({m.name for m in pool}) == len(pool)
+    # Exactly one mutant is a pre-documented escape (the TMR voter,
+    # which the DMR fault-fuzz harness structurally cannot reach).
+    assert [m.name for m in pool if m.escape_rationale] \
+        == ["chk_voter_min_majority"]
+
+
+# ---------------------------------------------------------------------------
+# Kill engines.
+# ---------------------------------------------------------------------------
+
+def test_cosim_kills_planted_alu_bug_fast():
+    killed_at = kill_by_cosim(_by_name("alu_xor_flip"), seed=0,
+                              max_programs=30)
+    assert killed_at is not None and killed_at <= 30
+    # The table is restored: the killing program now cosimulates clean.
+    assert cosim(generate_program(f"0:{killed_at - 1}")).ok
+
+
+def test_cosim_survivor_returns_none():
+    from repro.verify.mutation import Mutant
+
+    # An identity "mutant" is unkillable by construction.
+    identity = Mutant("noop", "alu", "identity ADD patch",
+                      int(Op.ADD), rm.ALU_EVAL[int(Op.ADD)])
+    assert kill_by_cosim(identity, seed=0, max_programs=5) is None
+
+
+def test_faultfuzz_kills_checker_mutants():
+    session = _FaultSession(0, faults_per_program=4)
+    for name in ("chk_drop_io_out", "chk_dsr_off_by_one"):
+        killed_at = kill_by_faultfuzz(_by_name(name), session, 20)
+        assert killed_at is not None and killed_at <= 20, name
+
+
+def test_faultfuzz_cannot_kill_voter_mutant():
+    session = _FaultSession(0, faults_per_program=4)
+    assert kill_by_faultfuzz(_by_name("chk_voter_min_majority"),
+                             session, 10) is None
+
+
+# ---------------------------------------------------------------------------
+# Session report.
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def small_report():
+    # A trimmed pool keeps the module fast: two ALU, one branch, two
+    # checker mutants including the documented voter escape.
+    names = ("alu_xor_flip", "alu_sub_swapped", "br_beq_inverted",
+             "chk_drop_io_out", "chk_voter_min_majority")
+    pool = tuple(m for m in default_mutants() if m.name in names)
+    return run_mutation(seed=0, max_programs=40, checker_programs=10,
+                        mutants=pool)
+
+
+def test_report_accounts_for_every_mutant(small_report):
+    assert len(small_report.results) == 5
+    assert len(small_report.killed) == 4
+    assert [r["name"] for r in small_report.survivors] \
+        == ["chk_voter_min_majority"]
+    assert small_report.undocumented_survivors == []
+    assert small_report.kill_rate(("alu", "branch")) == 1.0
+
+
+def test_detection_curve_is_monotone(small_report):
+    curve = small_report.curve()
+    assert curve, "curve must have at least one point"
+    fractions = [f for _, f in curve]
+    assert fractions == sorted(fractions)
+    assert all(0.0 <= f <= 1.0 for f in fractions)
+    # Everything killable in this pool dies within the budget.
+    assert fractions[-1] == pytest.approx(4 / 5)
+
+
+def test_report_json_round_trips(small_report, tmp_path):
+    path = write_report(small_report, tmp_path / "BENCH_mutation.json")
+    data = json.loads(path.read_text())
+    assert data["schema"] == 1
+    assert len(data["mutants"]) == 5
+    assert data["alu_branch_kill_rate"] == 1.0
+    assert data["undocumented_survivors"] == []
+    assert data["documented_escapes"][0]["name"] == "chk_voter_min_majority"
+    assert all(isinstance(p, int) and 0 <= f <= 1
+               for p, f in data["curve"])
+
+
+def test_session_leaves_tables_pristine(small_report):
+    # After a whole session every dispatch entry and checker hook is
+    # back to its original object.
+    from repro.lockstep.categories import diverged_set
+
+    assert checker_mod.diverged_set is diverged_set
+    for op, fn in rm.ALU_EVAL.items():
+        assert not getattr(fn, "__name__", "").startswith("mutant"), op
+    prog = generate_program("pristine:0")
+    assert cosim(prog).ok
