@@ -5,7 +5,8 @@ stratified campaign and prints the speedup table, plus the golden-trace
 ``memory_at`` reconstruction hot path (checkpoint+bisect vs the naive
 full-log replay it replaced), plus the liveness-pruning speedup
 (pruned vs un-pruned engine on the same schedule, digests asserted
-bit-identical).
+bit-identical), plus the batch-vectorised engine against the pruned
+scalar engine (a batch-size sweep and a deep-pool headline config).
 
 Results are asserted bit-identical across worker counts, so these
 benches double as an integration check of the determinism contract.
@@ -13,9 +14,9 @@ On a single-core container the speedup degenerates to process-pool
 overhead; the table still prints so the trajectory is recorded.
 
 Timings land in ``results/BENCH_<scale>.json`` via the conftest hook;
-the pruning sweep additionally writes the repo-root
-``BENCH_campaign.json`` (injections/s, pruned fraction, equivalence
-ratio) so the campaign-throughput trajectory is tracked across PRs.
+the pruning and batch sweeps additionally *append* timestamped entries
+to the repo-root ``BENCH_campaign.json`` so the campaign-throughput
+trajectory is tracked across PRs instead of being overwritten.
 """
 
 from __future__ import annotations
@@ -35,6 +36,37 @@ from repro.workloads import KERNELS
 
 #: Repo-root perf-trajectory artifact (committed, diffed across PRs).
 ROOT_BENCH_JSON = Path(__file__).parent.parent / "BENCH_campaign.json"
+
+
+def append_bench_entry(kind: str, payload: dict,
+                       path: Path = ROOT_BENCH_JSON) -> dict:
+    """Append one timestamped entry to the root trajectory artifact.
+
+    The file is ``{"schema": 2, "entries": [...]}``; a legacy
+    single-payload file (schema 1 wrote one pruning dict and overwrote
+    it each run) is absorbed as the first entry so history survives the
+    format change.  Returns the entry written.
+    """
+    entries: list[dict] = []
+    if path.exists():
+        try:
+            old = json.loads(path.read_text())
+        except ValueError:
+            old = None
+        if isinstance(old, dict):
+            if isinstance(old.get("entries"), list):
+                entries = old["entries"]
+            elif old:  # legacy schema-1 payload
+                entries = [{"kind": "pruning", "timestamp": None, **old}]
+    entry = {
+        "kind": kind,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        **payload,
+    }
+    entries.append(entry)
+    path.write_text(
+        json.dumps({"schema": 2, "entries": entries}, indent=2) + "\n")
+    return entry
 
 #: A campaign sized so one measurement run is seconds, not minutes:
 #: two benchmarks at a moderate sampling fraction.
@@ -136,27 +168,125 @@ def test_pruning_speedup_report(report):
         "speedup": round(t_off / t_on, 2),
         "pruned_fraction": round(pruned / n, 4),
         "deferred_fraction": round(deferred / n, 4),
-        "equivalence_class_ratio": round(
-            pruning["equiv_hits"] / collapsible, 4) if collapsible else 0.0,
+        # Raw counters: the old derived-only ratio rendered as a
+        # meaningless 0.0 whenever the quick schedule produced no
+        # collapsible pair, hiding whether the stage even ran.
+        "equiv_classes": pruning["equiv_classes"],
+        "equiv_hits": pruning["equiv_hits"],
+        "equivalence_collapse_ratio": round(
+            pruning["equiv_hits"] / collapsible, 4) if collapsible else None,
         "cycles_saved": pruning["cycles_saved"],
         "sim_cycles_pruned": pruning["sim_cycles"],
         "sim_cycles_unpruned": off.meta["pruning"]["sim_cycles"],
         "digest": on.digest(),
     }
-    ROOT_BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    append_bench_entry("pruning", payload)
     report("campaign_pruning", "\n".join([
         "Liveness pruning — quick campaign, workers=1 (best of 3)",
         f"  unpruned  wall={t_off:6.3f}s  {n / t_off:8.0f} inj/s",
         f"  pruned    wall={t_on:6.3f}s  {n / t_on:8.0f} inj/s  "
         f"speedup={t_off / t_on:4.2f}x",
         f"  masked w/o sim: {pruned}/{n} ({pruned / n:.1%})  "
-        f"deferred: {deferred}  equiv collapsed: {pruning['equiv_hits']}",
+        f"deferred: {deferred}  equiv: {pruning['equiv_classes']} classes, "
+        f"{pruning['equiv_hits']} collapsed",
         f"  cycles: {pruning['sim_cycles']} simulated vs "
         f"{off.meta['pruning']['sim_cycles']} unpruned "
         f"({pruning['cycles_saved']} saved)",
-        f"  wrote {ROOT_BENCH_JSON.name}",
+        f"  appended to {ROOT_BENCH_JSON.name}",
     ]))
     assert on.records == off.records
+
+
+#: Batch-size sweep config: one benchmark, enough faults (~7.5k) that
+#: the vectorised kernel amortises its per-call dispatch cost, small
+#: enough that the 5-row sweep stays under a minute.
+BATCH_SWEEP_CONFIG = CampaignConfig(
+    benchmarks=("ttsprk",),
+    soft_per_flop=8,
+    hard_per_flop=1,
+    flop_fraction=0.35,
+    max_observe=2000,
+)
+
+#: Headline config: the full soft-heavy pool on one benchmark (~43k
+#: faults), where lane occupancy stays high for thousands of kernel
+#: iterations — the batch engine's best case.
+BATCH_HEADLINE_CONFIG = CampaignConfig(
+    benchmarks=("ttsprk",),
+    soft_per_flop=16,
+    hard_per_flop=2,
+    flop_fraction=1.0,
+)
+
+BATCH_SIZES = (1, 16, 64, 256)
+
+
+def test_batch_speedup_report(report):
+    """Batch-vs-scalar engine sweep; appends to the root BENCH_campaign.json.
+
+    Two entries: a ``batch_sweep`` over batch sizes 1/16/64/256 on a
+    medium campaign (this is also the CI regression-gate baseline: the
+    gate compares the batch/scalar *ratio*, which normalises host
+    speed), and a ``batch_headline`` single measurement on the deep
+    soft-heavy pool with a large lane count.  Digests are asserted
+    bit-identical between every batch row and the scalar engine.
+    """
+    run_campaign(BATCH_SWEEP_CONFIG, workers=1)  # warm golden caches
+
+    def timed(cfg, **kwargs):
+        start = time.perf_counter()
+        result = run_campaign(cfg, workers=1, **kwargs)
+        return time.perf_counter() - start, result
+
+    t_scalar, scalar = timed(BATCH_SWEEP_CONFIG)
+    n = scalar.n_injected
+    rows = {}
+    for size in BATCH_SIZES:
+        t_b, batched = timed(BATCH_SWEEP_CONFIG, batch=size)
+        assert batched.digest() == scalar.digest()
+        assert batched.meta["pruning"] == scalar.meta["pruning"]
+        rows[str(size)] = round(n / t_b, 1)
+    sweep_entry = {
+        "config": {"benchmarks": ["ttsprk"], "soft_per_flop": 8,
+                   "hard_per_flop": 1, "flop_fraction": 0.35,
+                   "max_observe": 2000},
+        "workers": 1,
+        "injections": n,
+        "injections_per_s": {"scalar": round(n / t_scalar, 1), "batch": rows},
+        "best_batch_speedup": round(
+            max(rows.values()) / (n / t_scalar), 2),
+        "digest": scalar.digest(),
+    }
+    append_bench_entry("batch_sweep", sweep_entry)
+
+    run_campaign(BATCH_HEADLINE_CONFIG, workers=1, batch=2048)  # warm golden
+    t_hs, head_scalar = timed(BATCH_HEADLINE_CONFIG)
+    t_hb, head_batch = timed(BATCH_HEADLINE_CONFIG, batch=2048)
+    assert head_batch.digest() == head_scalar.digest()
+    hn = head_scalar.n_injected
+    append_bench_entry("batch_headline", {
+        "config": {"benchmarks": ["ttsprk"], "soft_per_flop": 16,
+                   "hard_per_flop": 2, "flop_fraction": 1.0,
+                   "max_observe": None},
+        "workers": 1,
+        "batch": 2048,
+        "injections": hn,
+        "injections_per_s": {
+            "scalar_pruned": round(hn / t_hs, 1),
+            "batch": round(hn / t_hb, 1),
+        },
+        "speedup": round(t_hs / t_hb, 2),
+        "digest": head_scalar.digest(),
+    })
+    lines = ["Batch engine vs pruned scalar — workers=1",
+             f"  sweep ({n} injections): scalar {n / t_scalar:8.0f} inj/s"]
+    lines += [f"    batch={s:<4d} {rows[str(s)]:8.0f} inj/s  "
+              f"({rows[str(s)] / (n / t_scalar):4.2f}x)" for s in BATCH_SIZES]
+    lines += [f"  headline ({hn} injections, batch=2048): "
+              f"scalar {hn / t_hs:8.0f} inj/s, batch {hn / t_hb:8.0f} inj/s "
+              f"({t_hs / t_hb:4.2f}x)",
+              f"  appended to {ROOT_BENCH_JSON.name}"]
+    report("campaign_batch", "\n".join(lines))
 
 
 def test_memory_at_checkpointed(benchmark):

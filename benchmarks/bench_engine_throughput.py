@@ -2,15 +2,24 @@
 
 These are genuine pytest-benchmark timings of the hot paths that set
 the campaign's wall-clock cost: the flip-flop-level CPU step, the
-lockstep compare, the golden-trace build and one differential
-injection.
+lockstep compare, the golden-trace build (both tiers), one differential
+injection, and the batch-vectorised engine against the scalar engine
+on an identical fault pool.
 """
 
+import pytest
 import numpy as np
 
 from repro.cpu import Cpu, FlopRef, Memory
 from repro.cpu.memory import InputStream
-from repro.faults import Fault, FaultKind, GoldenTrace, InjectionEngine
+from repro.faults import (
+    ArchTrace,
+    BatchInjectionEngine,
+    Fault,
+    FaultKind,
+    GoldenTrace,
+    InjectionEngine,
+)
 from repro.lockstep import LockstepChecker, expand_ports
 from repro.workloads import KERNELS, build
 
@@ -68,6 +77,19 @@ def test_golden_trace_build(benchmark):
                        rounds=2, iterations=1)
 
 
+def test_arch_trace_build(benchmark):
+    """Tier-1 (architectural) golden production.
+
+    Compare against ``test_golden_trace_build``: the ISA-level replay
+    is roughly an order of magnitude cheaper than the flop-accurate
+    trace (measured ~6-12x across kernels), which is what makes the
+    per-worker cross-check of every tier-2 trace affordable.
+    """
+    trace = benchmark.pedantic(ArchTrace, args=(KERNELS["ttsprk"],),
+                               rounds=5, iterations=1)
+    assert trace.n_steps > 0
+
+
 def test_golden_trace_cache_load(benchmark, tmp_path):
     GoldenTrace.cached(KERNELS["ttsprk"], cache_dir=tmp_path)  # populate
 
@@ -96,3 +118,47 @@ def test_injection_throughput(benchmark):
 
     manifested = benchmark(inject_block)
     assert 0 < manifested <= len(faults)
+
+
+def _fault_pool(golden: GoldenTrace, count: int) -> list[Fault]:
+    """A reproducible mixed soft/stuck fault pool over all flops."""
+    from repro.cpu.units import all_flops
+
+    rng = np.random.default_rng(0)
+    flops = all_flops()
+    kinds = (FaultKind.SOFT, FaultKind.STUCK0, FaultKind.STUCK1)
+    return [
+        Fault(flops[int(rng.integers(len(flops)))],
+              kinds[int(rng.integers(3))],
+              int(rng.integers(golden.n_cycles - 1)))
+        for _ in range(count)
+    ]
+
+
+@pytest.mark.parametrize("batch", (0, 1, 16, 64, 256),
+                         ids=("scalar", "b1", "b16", "b64", "b256"))
+def test_batch_engine_throughput(benchmark, batch):
+    """Scalar vs batch engine on one 2000-fault pool, outcomes asserted.
+
+    ``batch=0`` is the scalar :class:`InjectionEngine` row every batch
+    row is compared against (same group, so pytest-benchmark prints the
+    relative speedups directly).
+    """
+    golden = GoldenTrace.cached(KERNELS["ttsprk"])
+    faults = _fault_pool(golden, 2000)
+    benchmark.group = "batch-vs-scalar-injection"
+
+    if batch == 0:
+        def run():
+            engine = InjectionEngine(golden, max_observe=2000)
+            return [engine.inject(f) for f in faults]
+    else:
+        def run():
+            engine = BatchInjectionEngine(golden, max_observe=2000,
+                                          batch=batch)
+            return engine.inject_all(faults)
+
+    outcomes = benchmark.pedantic(run, rounds=2, iterations=1)
+    # Any engine/batch size must produce the identical outcome list.
+    scalar_engine = InjectionEngine(golden, max_observe=2000)
+    assert outcomes == [scalar_engine.inject(f) for f in faults]

@@ -59,6 +59,11 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
                              "deferred starts, dynamic equivalence); records "
                              "are bit-identical either way — this is an "
                              "escape hatch / benchmarking baseline")
+    parser.add_argument("--batch", type=int, default=None, metavar="N",
+                        help="run the vectorised injection engine with N "
+                             "fault lanes per numpy op (e.g. 256); records "
+                             "are bit-identical to the scalar engine for "
+                             "any value")
 
 
 def _load_campaign(args: argparse.Namespace):
@@ -66,7 +71,8 @@ def _load_campaign(args: argparse.Namespace):
     if getattr(args, "no_prune", False):
         config = dataclasses.replace(config, prune=False)
     return cached_campaign(config, cache_dir=args.cache,
-                           progress=True, workers=args.workers)
+                           progress=True, workers=args.workers,
+                           batch=getattr(args, "batch", None))
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:

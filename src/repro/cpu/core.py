@@ -34,23 +34,8 @@ from .isa import (
     CAUSE_MISALIGNED,
     CAUSE_MPU,
     CAUSE_WATCH,
-    CSR_CAUSE,
-    CSR_CNT_BRANCH,
-    CSR_CNT_MEM,
-    CSR_CYCLE,
-    CSR_DBG_BKPT0,
-    CSR_DBG_BKPT1,
-    CSR_DBG_CTRL,
-    CSR_DBG_WATCH0,
-    CSR_EPC,
-    CSR_FLAGS,
-    CSR_IRQ_MASK,
-    CSR_IRQ_PENDING,
-    CSR_MPU_BASE0,
-    CSR_MPU_CTRL,
-    CSR_MPU_LIMIT0,
-    CSR_SCRATCH,
-    CSR_STATUS,
+    CSR_READ_REG,
+    CSR_WRITE_REG,
     EXC_VECTOR,
     STATUS_CNT_EN,
     VALID_OPCODES,
@@ -70,19 +55,10 @@ _BTB_TGT = ("btb_tgt0", "btb_tgt1", "btb_tgt2", "btb_tgt3")
 _MPU_BASE = ("mpu_base0", "mpu_base1", "mpu_base2", "mpu_base3")
 _MPU_LIMIT = ("mpu_limit0", "mpu_limit1", "mpu_limit2", "mpu_limit3")
 
-#: CSRW targets beyond STATUS/SCRATCH: csr number -> (register, width mask).
-_CSR_WRITE: dict[int, tuple[str, int]] = {
-    CSR_DBG_BKPT0: ("dbg_bkpt0", MASK32),
-    CSR_DBG_BKPT1: ("dbg_bkpt1", MASK32),
-    CSR_DBG_WATCH0: ("dbg_watch0", MASK32),
-    CSR_DBG_CTRL: ("dbg_ctrl", 0xF),
-    CSR_IRQ_MASK: ("irq_mask", 0xFF),
-    CSR_IRQ_PENDING: ("irq_pending", 0xFF),
-    CSR_MPU_CTRL: ("mpu_ctrl", 0xFF),
-}
-for _i in range(4):
-    _CSR_WRITE[CSR_MPU_BASE0 + _i] = (_MPU_BASE[_i], MASK32)
-    _CSR_WRITE[CSR_MPU_LIMIT0 + _i] = (_MPU_LIMIT[_i], MASK32)
+#: CSRW targets: csr number -> (register, width mask).  The table lives
+#: in :mod:`repro.cpu.isa` (:data:`CSR_WRITE_REG`) so the batched fault
+#: simulator shares it; the alias keeps the core's historical name.
+_CSR_WRITE: dict[int, tuple[str, int]] = dict(CSR_WRITE_REG)
 
 # lsu_op encodings (3-bit register field).
 _LSU_NONE, _LSU_LD, _LSU_LDB, _LSU_ST, _LSU_STB, _LSU_IN, _LSU_OUT = range(7)
@@ -618,14 +594,9 @@ class Cpu:
                     n_mw_rd = rd
                     n_mw_val = self._csr_read(imm)
                 elif opnum == _OP_CSRW:
-                    if imm == CSR_STATUS:
-                        d["status"] = rb_val & 0xFF
-                    elif imm == CSR_SCRATCH:
-                        d["scratch"] = rb_val
-                    else:
-                        target = _CSR_WRITE.get(imm)
-                        if target is not None:
-                            d[target[0]] = rb_val & target[1]
+                    target = _CSR_WRITE.get(imm)
+                    if target is not None:
+                        d[target[0]] = rb_val & target[1]
                     n_mw_valid = 1
                 elif opnum == _OP_NOP:
                     n_mw_valid = 1
@@ -711,27 +682,9 @@ class Cpu:
         return out
 
     def _csr_read(self, num: int) -> int:
-        """Read a control/status register by number."""
-        if num == CSR_CYCLE:
-            return self.cyc
-        if num == CSR_STATUS:
-            return self.status
-        if num == CSR_SCRATCH:
-            return self.scratch
-        if num == CSR_FLAGS:
-            return self.flags
-        if num == CSR_CAUSE:
-            return self.cause
-        if num == CSR_EPC:
-            return self.epc
-        if num == CSR_CNT_BRANCH:
-            return self.cnt_branch
-        if num == CSR_CNT_MEM:
-            return self.cnt_mem
-        target = _CSR_WRITE.get(num)
-        if target is not None:
-            return getattr(self, target[0])
-        return 0
+        """Read a control/status register by number (table-driven)."""
+        name = CSR_READ_REG.get(num)
+        return getattr(self, name) if name is not None else 0
 
     # -- convenience -----------------------------------------------------
 

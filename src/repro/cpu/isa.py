@@ -99,6 +99,67 @@ MEM_OPS = frozenset({Op.LD, Op.LDB, Op.ST, Op.STB})
 #: Valid opcode numbers; anything else decodes as an illegal instruction.
 VALID_OPCODES = frozenset(int(op) for op in Op)
 
+# -- table-driven step semantics ---------------------------------------------
+#
+# The pipeline's DX dispatch is a pure function of the 6-bit opcode
+# field.  These dense tables expose that dispatch as *data* so that
+# consumers which cannot branch per instruction — the batched
+# structure-of-arrays fault simulator gathers them per lane — agree
+# with ``Cpu.step()`` by construction instead of by parallel
+# re-implementation.  ``core.py`` builds its own dispatch from the same
+# tables.
+
+#: Execution classes of the DX stage (values are arbitrary but stable).
+CLS_ILLEGAL = 0
+CLS_NOP = 1
+CLS_ALU = 2      # single-cycle ALU, register or immediate operand
+CLS_MUL = 3      # two-cycle multiplier (MUL/MULH)
+CLS_LUI = 4
+CLS_MEM = 5      # LD/LDB/ST/STB
+CLS_BRANCH = 6   # conditional branches
+CLS_JAL = 7
+CLS_JALR = 8
+CLS_IN = 9
+CLS_OUT = 10
+CLS_CSRR = 11
+CLS_CSRW = 12
+CLS_HALT = 13
+
+
+def _op_class(opnum: int) -> int:
+    if opnum not in VALID_OPCODES:
+        return CLS_ILLEGAL
+    if opnum == Op.NOP:
+        return CLS_NOP
+    if opnum in (Op.MUL, Op.MULH):
+        return CLS_MUL
+    if 1 <= opnum <= 23:
+        return CLS_ALU
+    return {
+        int(Op.LUI): CLS_LUI,
+        int(Op.LD): CLS_MEM, int(Op.LDB): CLS_MEM,
+        int(Op.ST): CLS_MEM, int(Op.STB): CLS_MEM,
+        int(Op.BEQ): CLS_BRANCH, int(Op.BNE): CLS_BRANCH,
+        int(Op.BLT): CLS_BRANCH, int(Op.BGE): CLS_BRANCH,
+        int(Op.BLTU): CLS_BRANCH, int(Op.BGEU): CLS_BRANCH,
+        int(Op.JAL): CLS_JAL, int(Op.JALR): CLS_JALR,
+        int(Op.IN): CLS_IN, int(Op.OUT): CLS_OUT,
+        int(Op.CSRR): CLS_CSRR, int(Op.CSRW): CLS_CSRW,
+        int(Op.HALT): CLS_HALT,
+    }[opnum]
+
+
+#: opcode -> execution class, dense over the 6-bit opcode space.
+OPCODE_CLASS: tuple[int, ...] = tuple(_op_class(n) for n in range(64))
+
+#: opcode -> 1 when the opcode carries a valid instruction.
+OPCODE_VALID: tuple[int, ...] = tuple(
+    1 if n in VALID_OPCODES else 0 for n in range(64))
+
+#: opcode -> 1 when an ALU-class opcode substitutes ``imm`` for ``rb``.
+OPCODE_ALU_IMM: tuple[int, ...] = tuple(
+    1 if (16 <= n <= 23) else 0 for n in range(64))
+
 #: Control and status register numbers readable via CSRR/CSRW.
 CSR_CYCLE = 0
 CSR_STATUS = 1
@@ -120,6 +181,39 @@ CSR_MPU_CTRL = 22
 
 #: STATUS register bit enabling the performance counters.
 STATUS_CNT_EN = 0x80
+
+#: CSRW-writable registers: csr number -> (core register name, width mask).
+#: ``STATUS``/``SCRATCH`` are listed too; every entry is a plain masked
+#: assignment in the DX stage.  (``status`` writes keep 8 bits.)
+CSR_WRITE_REG: dict[int, tuple[str, int]] = {
+    CSR_STATUS: ("status", 0xFF),
+    CSR_SCRATCH: ("scratch", WORD_MASK),
+    CSR_DBG_BKPT0: ("dbg_bkpt0", WORD_MASK),
+    CSR_DBG_BKPT1: ("dbg_bkpt1", WORD_MASK),
+    CSR_DBG_WATCH0: ("dbg_watch0", WORD_MASK),
+    CSR_DBG_CTRL: ("dbg_ctrl", 0xF),
+    CSR_IRQ_MASK: ("irq_mask", 0xFF),
+    CSR_IRQ_PENDING: ("irq_pending", 0xFF),
+    CSR_MPU_CTRL: ("mpu_ctrl", 0xFF),
+    **{CSR_MPU_BASE0 + i: (f"mpu_base{i}", WORD_MASK) for i in range(4)},
+    **{CSR_MPU_LIMIT0 + i: (f"mpu_limit{i}", WORD_MASK) for i in range(4)},
+}
+
+#: CSRR-readable registers: csr number -> core register name.  Reads of
+#: unmapped numbers return 0.
+CSR_READ_REG: dict[int, str] = {
+    CSR_CYCLE: "cyc",
+    CSR_STATUS: "status",
+    CSR_SCRATCH: "scratch",
+    CSR_FLAGS: "flags",
+    CSR_CAUSE: "cause",
+    CSR_EPC: "epc",
+    CSR_CNT_BRANCH: "cnt_branch",
+    CSR_CNT_MEM: "cnt_mem",
+    **{num: reg for num, (reg, _mask) in CSR_WRITE_REG.items()
+       if num not in (CSR_STATUS, CSR_SCRATCH)},
+    # status/scratch read back through their own entries above.
+}
 
 #: Exception cause codes recorded in the SCU.
 CAUSE_NONE = 0

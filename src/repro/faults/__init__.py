@@ -1,5 +1,7 @@
 """Fault models, golden traces, differential injection and campaigns."""
 
+from .arch import ArchTrace, TieredGolden, peek_cached_n_cycles
+from .batch import BatchInjectionEngine
 from .campaign import (
     CampaignConfig,
     CampaignResult,
@@ -39,6 +41,8 @@ from .stats import (
 )
 
 __all__ = [
+    "ArchTrace", "TieredGolden", "peek_cached_n_cycles",
+    "BatchInjectionEngine",
     "CampaignConfig", "CampaignResult", "cached_campaign", "records_digest",
     "run_campaign", "sample_flops", "schedule_faults",
     "CAMPAIGN_MEM_WORDS", "GOLDEN_CACHE_ENV", "GoldenTrace", "LoggingMemory",

@@ -204,7 +204,8 @@ def schedule_faults(flop: FlopRef, n_cycles: int, config: CampaignConfig,
 
 def run_campaign(config: CampaignConfig | None = None,
                  progress: bool = False, workers: int | None = 1,
-                 chunk_flops: int | None = None) -> CampaignResult:
+                 chunk_flops: int | None = None,
+                 batch: int | None = None) -> CampaignResult:
     """Execute a campaign and return its result.
 
     Args:
@@ -217,12 +218,16 @@ def run_campaign(config: CampaignConfig | None = None,
         chunk_flops: flops per shard (default: auto, ~4 shards per
             worker per benchmark).  Affects only scheduling granularity,
             never results.
+        batch: lane count for the vectorised injection engine
+            (:mod:`repro.faults.batch`); ``None``/``0`` runs the scalar
+            engine.  Like ``workers``, an execution knob only — records
+            and pruning stats are bit-identical for any value.
     """
     from .parallel import execute_campaign
 
     config = config or CampaignConfig.default()
     return execute_campaign(config, progress=progress, workers=workers,
-                            chunk_flops=chunk_flops)
+                            chunk_flops=chunk_flops, batch=batch)
 
 
 def _load_cached(path: Path, config: CampaignConfig) -> CampaignResult | None:
@@ -250,13 +255,15 @@ def _load_cached(path: Path, config: CampaignConfig) -> CampaignResult | None:
 def cached_campaign(config: CampaignConfig | None = None,
                     cache_dir: str | Path = ".campaign_cache",
                     progress: bool = False,
-                    workers: int | None = 1) -> CampaignResult:
+                    workers: int | None = 1,
+                    batch: int | None = None) -> CampaignResult:
     """Run a campaign, or load it from the on-disk cache if present.
 
     All benchmark-harness figures share one campaign run through this
     cache, keyed by the configuration hash.  The key is independent of
-    ``workers`` — a result computed with any worker count is identical,
-    so it is shared by all of them.
+    ``workers`` and ``batch`` — a result computed with any worker count
+    or engine (scalar / vectorised) is identical, so it is shared by
+    all of them.
     """
     config = config or CampaignConfig.default()
     path = Path(cache_dir) / f"campaign_{config.cache_key()}.pkl"
@@ -264,6 +271,7 @@ def cached_campaign(config: CampaignConfig | None = None,
         result = _load_cached(path, config)
         if result is not None:
             return result
-    result = run_campaign(config, progress=progress, workers=workers)
+    result = run_campaign(config, progress=progress, workers=workers,
+                          batch=batch)
     result.save(path)
     return result

@@ -405,6 +405,7 @@ class GoldenTrace:
         self.write_log = log
         self._log_cycles = [entry[0] for entry in log]
         self._mem_checkpoints: list[list[int]] | None = None
+        self._np_mem: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
 
     def _checkpoints(self) -> list[list[int]]:
         """Memory images after each ``MEMORY_CHECKPOINT_EVERY`` writes.
@@ -459,6 +460,55 @@ class GoldenTrace:
         for _, idx, value in self.write_log[base:j]:
             words[idx] = value
         return mem
+
+    def _np_mem_index(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Numpy mirror of the reconstruction index (built lazily once).
+
+        Returns ``(initial, checkpoints, idxs, vals)``: the initial word
+        image, the ``(k, mem_words)`` checkpoint matrix, and the write
+        log split into index/value columns, all ``int64``.  Backs
+        :meth:`memory_words_at` so the batch engine can seed lane
+        memories without materialising a :class:`Memory` object.
+        """
+        cached = self._np_mem
+        if cached is None:
+            if self.write_log:
+                log = np.asarray(self.write_log, dtype=np.int64).reshape(-1, 3)
+                idxs = np.ascontiguousarray(log[:, 1])
+                vals = np.ascontiguousarray(log[:, 2])
+            else:
+                idxs = np.empty(0, dtype=np.int64)
+                vals = np.empty(0, dtype=np.int64)
+            initial = np.array(self._initial_words, dtype=np.int64)
+            ckpts = np.array(self._checkpoints(), dtype=np.int64).reshape(
+                -1, self.mem_words)
+            cached = (initial, ckpts, idxs, vals)
+            self._np_mem = cached
+        return cached
+
+    def memory_words_at(self, cycle: int, out: np.ndarray | None = None) -> np.ndarray:
+        """Memory image at the start of ``cycle`` as an ``int64`` vector.
+
+        Same reconstruction as :meth:`memory_at` (nearest checkpoint
+        plus a scatter-replayed delta) but the copy and the replay are
+        single numpy operations, so per-experiment seeding in the batch
+        engine costs microseconds.  ``out`` may supply a reusable
+        ``(mem_words,)`` buffer (a matrix row works) to overwrite.
+        """
+        initial, ckpts, idxs, vals = self._np_mem_index()
+        j = bisect_left(self._log_cycles, cycle)
+        k = j // MEMORY_CHECKPOINT_EVERY
+        src = ckpts[k - 1] if k else initial
+        if out is None:
+            out = src.copy()
+        else:
+            out[:] = src
+        base = k * MEMORY_CHECKPOINT_EVERY
+        if base < j:
+            # Fancy assignment applies entries in order: later writes to
+            # the same word win, matching sequential replay.
+            out[idxs[base:j]] = vals[base:j]
+        return out
 
     def activation_cycle(self, reg: str, bit: int, value: int, start: int) -> int | None:
         """First cycle >= ``start`` where the golden flop differs from ``value``.

@@ -46,6 +46,7 @@ import numpy as np
 
 from ..cpu.units import FlopRef
 from ..workloads.kernels import KERNELS
+from .arch import TieredGolden
 from .golden import GoldenTrace
 from .injector import InjectionEngine
 from .models import ErrorRecord
@@ -136,7 +137,22 @@ def _golden_for(benchmark: str, seed: int) -> GoldenTrace:
     return golden
 
 
-def run_shard(config, shard: Shard) -> tuple[
+#: Per-process TieredGolden cache (batch path): (benchmark, seed) ->
+#: handle.  Kept separate from _GOLDEN_CACHE so the tiers' lazy-load
+#: bookkeeping survives across shards.
+_TIERED_CACHE: dict[tuple[str, int], TieredGolden] = {}
+
+
+def _tiered_for(benchmark: str, seed: int) -> TieredGolden:
+    key = (benchmark, seed)
+    tiered = _TIERED_CACHE.get(key)
+    if tiered is None:
+        tiered = TieredGolden(KERNELS[benchmark], seed=seed)
+        _TIERED_CACHE[key] = tiered
+    return tiered
+
+
+def run_shard(config, shard: Shard, batch: int | None = None) -> tuple[
         list[ErrorRecord], dict[tuple[str, str], int], int, dict[str, int]]:
     """Execute one shard.
 
@@ -146,15 +162,47 @@ def run_shard(config, shard: Shard) -> tuple[
     per shard, which only affects how often the cache hits (a pure
     performance matter) — outcomes, and therefore the merged record
     list, are identical for any sharding.
+
+    ``batch`` selects the vectorised engine with that many lanes (see
+    :mod:`repro.faults.batch`); None/0 runs the scalar engine.  Records
+    and pruning stats are bit-identical either way.  The batch path
+    goes through :class:`~repro.faults.arch.TieredGolden`: scheduling
+    uses the cheap ``n_cycles`` peek and the flop-accurate trace is
+    loaded — architecturally cross-checked — only when the shard has
+    faults to simulate.
     """
     from .campaign import schedule_faults
+
+    if batch:
+        from .batch import BatchInjectionEngine
+
+        tiered = _tiered_for(shard.benchmark, config.seed)
+        n_cycles = tiered.n_cycles
+        faults = []
+        injected: dict[tuple[str, str], int] = {}
+        for offset, flop in enumerate(shard.flops):
+            rng = schedule_rng(config.seed, shard.bench_idx,
+                               shard.flop_base + offset)
+            for fault in schedule_faults(flop, n_cycles, config, rng):
+                key = (flop.unit, fault.kind.value)
+                injected[key] = injected.get(key, 0) + 1
+                faults.append(fault)
+        if not faults:
+            return [], injected, n_cycles, {}
+        engine = BatchInjectionEngine(
+            tiered.full, max_observe=config.max_observe,
+            mask_check_stride=config.mask_check_stride,
+            prune=config.prune, batch=batch)
+        outcomes = engine.inject_all(faults)
+        records = [r for r in outcomes if r is not None]
+        return records, injected, n_cycles, engine.stats.as_dict()
 
     golden = _golden_for(shard.benchmark, config.seed)
     engine = InjectionEngine(golden, max_observe=config.max_observe,
                              mask_check_stride=config.mask_check_stride,
                              prune=config.prune)
     records: list[ErrorRecord] = []
-    injected: dict[tuple[str, str], int] = {}
+    injected = {}
     for offset, flop in enumerate(shard.flops):
         rng = schedule_rng(config.seed, shard.bench_idx, shard.flop_base + offset)
         for fault in schedule_faults(flop, golden.n_cycles, config, rng):
@@ -169,11 +217,15 @@ def run_shard(config, shard: Shard) -> tuple[
 # -- controller side ---------------------------------------------------------
 
 def execute_campaign(config, progress: bool = False, workers: int | None = 1,
-                     chunk_flops: int | None = None):
+                     chunk_flops: int | None = None,
+                     batch: int | None = None):
     """Run a campaign across ``workers`` processes; merge deterministically.
 
     This is the engine behind :func:`repro.faults.run_campaign`; see
-    that wrapper for the public contract.
+    that wrapper for the public contract.  ``batch`` (like ``workers``
+    and ``chunk_flops``) is an execution knob, not part of the
+    configuration: it selects the vectorised engine without entering
+    the cache key, because results are bit-identical for any value.
     """
     from .campaign import CampaignResult, sample_flops
 
@@ -183,6 +235,12 @@ def execute_campaign(config, progress: bool = False, workers: int | None = 1,
     for flop in flops:
         sampled[flop.unit] = sampled.get(flop.unit, 0) + 1
 
+    if batch is not None and chunk_flops is None:
+        # The vectorised engine amortizes its per-call dispatch cost
+        # over lane occupancy, so it wants the deepest fault pool it
+        # can get: one shard per worker instead of the scalar default
+        # of four (which trades pool depth for load balancing).
+        chunk_flops = max(1, -(-len(flops) // workers))
     chunk = resolve_chunk(len(flops), workers, chunk_flops)
     shards = plan_shards(config.benchmarks, flops, workers, chunk)
     start = time.perf_counter()
@@ -200,7 +258,7 @@ def execute_campaign(config, progress: bool = False, workers: int | None = 1,
 
     if workers == 1 or len(shards) == 1:
         for i, shard in enumerate(shards):
-            outcome = run_shard(config, shard)
+            outcome = run_shard(config, shard, batch)
             outcomes[shard.order_key] = outcome
             _absorb(outcome)
             if progress:
@@ -208,7 +266,7 @@ def execute_campaign(config, progress: bool = False, workers: int | None = 1,
                                 pruning)
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {pool.submit(run_shard, config, shard): shard
+            pending = {pool.submit(run_shard, config, shard, batch): shard
                        for shard in shards}
             done_count = 0
             while pending:
@@ -241,7 +299,7 @@ def execute_campaign(config, progress: bool = False, workers: int | None = 1,
         sampled_flops=sampled,
         wall_seconds=time.perf_counter() - start,
         meta={"workers": workers, "n_shards": len(shards),
-              "chunk_flops": chunk, "pruning": pruning},
+              "chunk_flops": chunk, "batch": batch, "pruning": pruning},
     )
 
 
