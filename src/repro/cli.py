@@ -35,7 +35,7 @@ from .analysis.reports import (
     render_table3,
     render_table4,
 )
-from .faults import CampaignConfig, cached_campaign
+from .faults import KERNEL_CHOICES, CampaignConfig, cached_campaign
 from .workloads import KERNELS, get_workload, run_kernel
 
 _SCALES = {
@@ -64,6 +64,12 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
                              "fault lanes per numpy op (e.g. 256); records "
                              "are bit-identical to the scalar engine for "
                              "any value")
+    parser.add_argument("--kernel", choices=KERNEL_CHOICES, default=None,
+                        help="step backend for the vectorised engine: "
+                             "'cext' (compiled, error if unavailable), "
+                             "'numpy', or 'auto' (default: compiled when "
+                             "available); records are bit-identical for "
+                             "any backend")
 
 
 def _load_campaign(args: argparse.Namespace):
@@ -72,7 +78,8 @@ def _load_campaign(args: argparse.Namespace):
         config = dataclasses.replace(config, prune=False)
     return cached_campaign(config, cache_dir=args.cache,
                            progress=True, workers=args.workers,
-                           batch=getattr(args, "batch", None))
+                           batch=getattr(args, "batch", None),
+                           kernel=getattr(args, "kernel", None))
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:

@@ -19,6 +19,13 @@ from .golden import (
     golden_cache_dir,
 )
 from .injector import InjectionEngine, PruneStats
+from .kernels import (
+    KERNEL_CHOICES,
+    KERNEL_ENV,
+    cext_available,
+    cext_build_error,
+    resolve_kernel,
+)
 from .parallel import (
     Shard,
     plan_shards,
@@ -48,6 +55,8 @@ __all__ = [
     "CAMPAIGN_MEM_WORDS", "GOLDEN_CACHE_ENV", "GoldenTrace", "LoggingMemory",
     "golden_cache_dir",
     "InjectionEngine", "PruneStats",
+    "KERNEL_CHOICES", "KERNEL_ENV", "cext_available", "cext_build_error",
+    "resolve_kernel",
     "Shard", "plan_shards", "resolve_chunk", "resolve_workers",
     "sampling_rng", "schedule_rng",
     "ErrorRecord", "ErrorType", "Fault", "FaultKind", "error_type_of",

@@ -1,0 +1,105 @@
+"""Loader for the compiled fused batch-step kernel.
+
+Two ways the extension can be present:
+
+* **Installed build** — ``pip install -e .`` compiles
+  ``_cstepmodule.c`` via setuptools and drops ``_cstep.*.so`` next to
+  this file; a plain relative import finds it.
+* **In-tree auto-build** — the repo's dev/CI flow is ``PYTHONPATH=src``
+  with no install step, so when the import misses we compile the one
+  translation unit ourselves with the system C compiler into a
+  per-user cache directory keyed by a hash of the source and the
+  interpreter version, then load it with ``ExtensionFileLoader``.
+  The cc invocation is a single command with no new Python deps, and
+  the cache means every later process (including campaign pool
+  workers) loads the ``.so`` without recompiling.
+
+Both paths are best-effort: any failure (no compiler, sandboxed
+filesystem, exotic platform) leaves :data:`MODULE` as ``None`` and
+:data:`BUILD_ERROR` holding the reason, and the engine falls back to
+the numpy kernel.  Set ``REPRO_CSTEP_BUILD=0`` to skip the auto-build
+(used by the CI fallback leg to prove the pure-Python path).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.machinery
+import importlib.util
+import os
+import subprocess
+import sys
+import sysconfig
+from pathlib import Path
+
+#: The loaded extension module, or None when unavailable.
+MODULE = None
+#: Human-readable reason MODULE is None (for `--kernel cext` errors).
+BUILD_ERROR: str | None = None
+
+_SOURCE = Path(__file__).with_name("_cstepmodule.c")
+
+
+def _cache_dir() -> Path:
+    env = os.environ.get("REPRO_CSTEP_CACHE")
+    if env:
+        return Path(env)
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return Path(base) / "repro_cstep"
+
+
+def _build() -> object:
+    """Compile _cstepmodule.c with the system cc and import the result."""
+    source = _SOURCE.read_bytes()
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    tag = hashlib.sha256(
+        source + f"|py{sys.version_info[:2]}|{suffix}".encode()
+    ).hexdigest()[:20]
+    cache = _cache_dir()
+    built = cache / f"_cstep_{tag}{suffix}"
+    if not built.exists():
+        cache.mkdir(parents=True, exist_ok=True)
+        cc = os.environ.get("CC", "cc")
+        include = sysconfig.get_paths()["include"]
+        tmp = built.with_name(f".{built.name}.{os.getpid()}.tmp")
+        cmd = [cc, "-O3", "-shared", "-fPIC", f"-I{include}",
+               "-o", str(tmp), str(_SOURCE)]
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=120)
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"{' '.join(cmd)} failed:\n{proc.stderr.strip()}")
+            # Atomic publish: concurrent pool workers racing the build
+            # each replace with an identical artifact.
+            os.replace(tmp, built)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+    loader = importlib.machinery.ExtensionFileLoader("_cstep", str(built))
+    spec = importlib.util.spec_from_file_location(
+        "_cstep", str(built), loader=loader)
+    mod = importlib.util.module_from_spec(spec)
+    loader.exec_module(mod)
+    return mod
+
+
+def _load() -> None:
+    global MODULE, BUILD_ERROR
+    try:
+        from . import _cstep as mod  # installed via setup.py build_ext
+        MODULE = mod
+        return
+    except ImportError:
+        pass
+    if os.environ.get("REPRO_CSTEP_BUILD", "1") == "0":
+        BUILD_ERROR = "auto-build disabled by REPRO_CSTEP_BUILD=0"
+        return
+    try:
+        MODULE = _build()
+    except Exception as exc:  # noqa: BLE001 - any failure means fallback
+        BUILD_ERROR = f"{type(exc).__name__}: {exc}"
+
+
+_load()

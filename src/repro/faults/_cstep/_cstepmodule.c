@@ -1,0 +1,877 @@
+/* Compiled fused batch-step kernel for the SoA fault-injection engine.
+ *
+ * The numpy kernel in repro/faults/batch.py advances every live lane
+ * one cycle per ~150 numpy dispatches; below a few hundred lanes the
+ * fixed dispatch cost dominates (DESIGN.md §5.14).  This module
+ * removes that floor: `drive()` executes the batch driver's hot loop
+ * — stuck-at force, golden port compare, full state step, and the
+ * routine masking/re-convergence check bookkeeping — in plain C,
+ * fusing as many cycles per call as possible and returning to Python
+ * only for the rare-path events (lane retirement, equivalence-class
+ * resolution, stuck-at fast-forward, divergence record construction),
+ * which the Python driver then handles with exactly the same code the
+ * pure-numpy path uses.  `step()` advances lanes one cycle with no
+ * driver logic, so tests can compare the C state transition against
+ * the numpy `_step` matrix-for-matrix.
+ *
+ * Semantics are a statement-by-statement mirror of
+ * `BatchInjectionEngine._step` (itself a mirror of `Cpu.step`); the
+ * per-cycle SoA parity test in tests/test_kernels.py holds the two
+ * kernels bit-identical.  No numpy C API is used — all arrays arrive
+ * through the buffer protocol, so the module builds against any
+ * CPython 3.x with no third-party headers.
+ *
+ * Layout contract (enforced by itemsize/shape checks):
+ *   S        uint32 (n_rows, B) C-contiguous, lane state columns
+ *   M        uint32 (B, mem_words), per-lane memories
+ *   sm       uint32 (n_cycles, n_regs), golden state rows per cycle
+ *   pm       uint32 (n_cycles, 18), golden port rows per cycle
+ *   stim     uint32 (stim_len,), replicated input stream
+ *   t/end/next_chk/chk_iv  int64 (B,), per-lane driver bookkeeping
+ *   is_hard  uint8/bool (B,)
+ *   force_row int64 (B,), force_and/force_or uint32 (B,)
+ *   tables   13-tuple, see TABLE_SPECS / repro.faults.batch._cext_tables
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <stdint.h>
+#include <string.h>
+
+typedef uint32_t u32;
+
+/* Row-index map: filled by memcpy from tables[0] (int64[68]).  Field
+ * order here MUST match _ROW_ORDER in repro/faults/batch.py. */
+typedef struct {
+    int64_t pc, btb_tag0, btb_tgt0, btb_v;
+    int64_t imc_addr, imc_data, imc_valid, imc_pred, imc_ptgt;
+    int64_t if_ir, if_pc, if_valid, if_pred, if_ptgt;
+    int64_t mw_val, mw_pc, mw_rd, mw_wen, mw_valid, mw_isload;
+    int64_t mul_a, mul_b, mul_pending;
+    int64_t flags, sflags;
+    int64_t br_target, br_taken, br_valid;
+    int64_t ret_pc, ret_val, ret_rd, ret_valid;
+    int64_t lsu_addr, lsu_wdata, lsu_op, lsu_valid;
+    int64_t sb_addr, sb_data, sb_valid, sb_op;
+    int64_t dmc_addr, dmc_wdata, dmc_rdata, dmc_ctrl, dmc_strb;
+    int64_t mpu_base0, mpu_limit0, mpu_ctrl;
+    int64_t bus_addr, bus_data, bus_ctrl;
+    int64_t io_out, io_out_v, io_in, io_in_idx;
+    int64_t status, cause, epc, cyc, halted;
+    int64_t dbg_bkpt0, dbg_bkpt1, dbg_watch0, dbg_ctrl;
+    int64_t irq_mask, irq_pending, cnt_branch, cnt_mem;
+} RowMap;
+
+#define N_ROWMAP 68
+
+/* ISA/driver constants: filled from tables[1] (int64[28]).  Field
+ * order MUST match _CONST_ORDER in repro/faults/batch.py. */
+typedef struct {
+    int64_t cls_alu, cls_mul, cls_lui, cls_mem, cls_branch;
+    int64_t cls_jal, cls_jalr, cls_in, cls_out;
+    int64_t cls_csrr, cls_csrw, cls_nop, cls_halt;
+    int64_t cause_illegal, cause_bkpt, cause_irq;
+    int64_t cause_mpu, cause_watch, cause_misaligned;
+    int64_t exc_vector, status_cnt_en;
+    int64_t op_mul, op_ld, op_ldb, op_st, op_stb, op_beq;
+    int64_t n_regs;
+} Consts;
+
+#define N_CONSTS 28
+
+#if defined(__STDC_VERSION__) && __STDC_VERSION__ >= 201112L
+_Static_assert(sizeof(RowMap) == N_ROWMAP * sizeof(int64_t), "RowMap layout");
+_Static_assert(sizeof(Consts) == N_CONSTS * sizeof(int64_t), "Consts layout");
+#endif
+
+typedef struct {
+    u32 *S;
+    Py_ssize_t n_rows, B;
+    u32 *M;
+    Py_ssize_t mem_words;
+    const u32 *stim;
+    Py_ssize_t stim_len;
+    const int64_t *opc_cls;
+    const uint8_t *opc_valid;
+    const uint8_t *opc_imm;
+    const int64_t *alu_sel;
+    const u32 *lsu_op_of;
+    const int64_t *rf_read;
+    const int64_t *rf_write;
+    const int64_t *csr_read;
+    const int64_t *csr_write;
+    const u32 *csr_wmask;
+    const int64_t *port_rows;
+    RowMap r;
+    Consts c;
+} Ctx;
+
+#define S_(row, lane) x->S[(size_t)(row) * (size_t)x->B + (size_t)(lane)]
+
+/* One lane, one cycle: the vectorised `_step` unrolled per lane. */
+static void step_lane(Ctx *x, Py_ssize_t i)
+{
+    const RowMap *r = &x->r;
+    const Consts *c = &x->c;
+    u32 *M = x->M + (size_t)i * (size_t)x->mem_words;
+    const u32 mem_words = (u32)x->mem_words;
+
+    /* ---------------- MW stage ---------------- */
+    u32 lsu_valid = S_(r->lsu_valid, i);
+    u32 sb_valid = S_(r->sb_valid, i);
+    u32 mw_valid = S_(r->mw_valid, i);
+    u32 lsu_op = S_(r->lsu_op, i);
+    u32 lsu_addr = S_(r->lsu_addr, i);
+    u32 sb_addr = S_(r->sb_addr, i);
+    u32 sb_data = S_(r->sb_data, i);
+    u32 sb_op = S_(r->sb_op, i);
+
+    int is_ld = lsu_valid && lsu_op == 1;
+    int is_ldb = lsu_valid && lsu_op == 2;
+    int is_load = is_ld || is_ldb;
+    int is_st = lsu_valid && lsu_op == 3;
+    int is_stb = lsu_valid && lsu_op == 4;
+    int is_store = is_st || is_stb;
+    int is_in = lsu_valid && lsu_op == 5;
+    int is_out = lsu_valid && lsu_op == 6;
+
+    int alias = ((sb_addr ^ lsu_addr) & 0xFFFFFFFCu) == 0;
+    int drain_load = is_load && sb_valid && alias;
+    int drain = drain_load || (is_store && sb_valid) || (sb_valid && !lsu_valid);
+
+    if (drain) {
+        u32 widx = (sb_addr >> 2) % mem_words;
+        if (sb_op != 0) {
+            u32 shift = (sb_addr & 3) * 8;
+            u32 lane_mask = 0xFFu << shift;
+            M[widx] = (M[widx] & ~lane_mask) | ((sb_data & 0xFF) << shift);
+        } else {
+            M[widx] = sb_data;
+        }
+    }
+
+    u32 load_data = 0;
+    if (is_load) {
+        u32 word = M[(lsu_addr >> 2) % mem_words];
+        u32 shift = (lsu_addr & 3) * 8;
+        load_data = is_ldb ? (word >> shift) & 0xFF : word;
+    }
+    if (is_in) {
+        u32 cursor = S_(r->io_in_idx, i);
+        u32 val = x->stim[cursor % (u32)x->stim_len];
+        load_data = val;
+        S_(r->io_in, i) = val;
+        S_(r->io_in_idx, i) = (cursor + 1) & 0xFFFF;
+    }
+    if (is_out) {
+        S_(r->io_out, i) = S_(r->lsu_wdata, i);
+        S_(r->io_out_v, i) ^= 1u;
+    }
+
+    if (drain_load || (sb_valid && !lsu_valid))
+        S_(r->sb_valid, i) = 0;
+    if (is_store) {
+        S_(r->sb_addr, i) = lsu_addr;
+        S_(r->sb_data, i) = S_(r->lsu_wdata, i);
+        S_(r->sb_op, i) = (u32)is_stb;
+        S_(r->sb_valid, i) = 1;
+    }
+
+    int d_read = is_load, d_write = drain;
+    int d_any = d_read || d_write;
+    u32 prim_addr = d_read ? lsu_addr : sb_addr;
+    int prim_byte = d_read ? is_ldb : (sb_op != 0);
+    if (d_any)
+        S_(r->dmc_addr, i) = prim_addr;
+    if (d_write)
+        S_(r->dmc_wdata, i) = sb_data;
+    if (d_read)
+        S_(r->dmc_rdata, i) = load_data;
+    S_(r->dmc_ctrl, i) = d_any ? ((u32)d_read | ((u32)d_write << 1) | 8) : 0;
+    S_(r->dmc_strb, i) =
+        d_any ? (prim_byte ? (1u << (prim_addr & 3)) : 0xFu) : 0;
+
+    /* Writeback before DX reads the file (subsumes the bypass net). */
+    u32 wb_value = S_(r->mw_isload, i) ? load_data : S_(r->mw_val, i);
+    if (mw_valid && S_(r->mw_wen, i))
+        S_(x->rf_write[S_(r->mw_rd, i) & 0xF], i) = wb_value;
+    if (mw_valid) {
+        S_(r->ret_pc, i) = S_(r->mw_pc, i);
+        S_(r->ret_val, i) = wb_value;
+        S_(r->ret_rd, i) = S_(r->mw_rd, i);
+    }
+    S_(r->ret_valid, i) = mw_valid ? 1 : 0;
+
+    /* ---------------- DX stage ---------------- */
+    u32 if_valid_raw = S_(r->if_valid, i);
+    int if_valid = if_valid_raw != 0;
+    u32 if_pc = S_(r->if_pc, i);
+    u32 word = S_(r->if_ir, i);
+    u32 opnum = (word >> 26) & 0x3F;
+    int64_t cls = x->opc_cls[opnum];
+    u32 seq_next = if_pc + 4;
+    u32 fetched_next = S_(r->if_pred, i) ? S_(r->if_ptgt, i) : seq_next;
+
+    int irq = ((S_(r->irq_pending, i) & S_(r->irq_mask, i)) != 0)
+              && ((S_(r->status, i) & 1) == 0);
+    u32 ctrl = S_(r->dbg_ctrl, i);
+    int bk = !irq && ((ctrl & 3) != 0)
+             && ((((ctrl & 1) != 0) && if_pc == S_(r->dbg_bkpt0, i))
+                 || (((ctrl & 2) != 0) && if_pc == S_(r->dbg_bkpt1, i)));
+    int ill = !irq && !bk && !x->opc_valid[opnum];
+    int trap = (irq || bk || ill) && if_valid;
+    u32 trap_code = 0;
+    if (ill)
+        trap_code = (u32)c->cause_illegal;
+    if (bk)
+        trap_code = (u32)c->cause_bkpt;
+    if (irq)
+        trap_code = (u32)c->cause_irq;
+    int dispatch = if_valid && !trap;
+
+    u32 ra_f = (word >> 18) & 0xF;
+    u32 rb_f = (word >> 14) & 0xF;
+    u32 rd_f = (word >> 22) & 0xF;
+    u32 ra_val = S_(x->rf_read[ra_f], i);
+    u32 rb_val = S_(x->rf_read[rb_f], i);
+    u32 imm32 = (word & 0x2000) ? ((word & 0x1FFF) | 0xFFFFE000u)
+                                : (word & 0x1FFF);
+
+    u32 n_mw_valid = 0, n_mw_wen = 0, n_mw_isload = 0, n_mw_rd = 0,
+        n_mw_val = 0;
+    u32 n_lsu_valid = 0, n_lsu_op = 0, n_br_valid = 0;
+    int stall = 0, halt_now = 0;
+    u32 actual_next = seq_next;
+    u32 bidx = (if_pc >> 2) & 3;
+
+    if (dispatch && cls == c->cls_alu) {
+        int64_t sel = x->alu_sel[opnum];
+        u32 a32 = ra_val;
+        u32 b32 = x->opc_imm[opnum] ? imm32 : rb_val;
+        u32 add_res = a32 + b32;
+        u32 sub_res = a32 - b32;
+        u32 sh = b32 & 31;
+        u32 res = 0, carry = 0, ovf = 0;
+        switch (sel) {
+        case 1:
+            res = add_res;
+            carry = add_res < a32;
+            ovf = ((~(a32 ^ b32) & (a32 ^ add_res)) >> 31) & 1;
+            break;
+        case 2:
+            res = sub_res;
+            carry = a32 >= b32;
+            ovf = (((a32 ^ b32) & (a32 ^ sub_res)) >> 31) & 1;
+            break;
+        case 3: res = a32 & b32; break;
+        case 4: res = a32 | b32; break;
+        case 5: res = a32 ^ b32; break;
+        case 6: res = a32 << sh; break;
+        case 7: res = a32 >> sh; break;
+        case 8: res = (u32)((int32_t)a32 >> (int)sh); break;
+        case 9: res = (int32_t)a32 < (int32_t)b32; break;
+        case 10: res = a32 < b32; break;
+        default: break;
+        }
+        u32 nf = (res >> 31) & 1;
+        u32 zf = res == 0;
+        S_(r->flags, i) = (nf << 3) | (zf << 2) | (carry << 1) | ovf;
+        n_mw_valid = 1;
+        n_mw_wen = 1;
+        n_mw_rd = rd_f;
+        n_mw_val = res;
+    } else if (dispatch && cls == c->cls_mul) {
+        if (!S_(r->mul_pending, i)) {
+            S_(r->mul_a, i) = ra_val;
+            S_(r->mul_b, i) = rb_val;
+            S_(r->mul_pending, i) = 1;
+            stall = 1;
+        } else {
+            uint64_t prod =
+                (uint64_t)S_(r->mul_a, i) * (uint64_t)S_(r->mul_b, i);
+            u32 mres = (opnum == (u32)c->op_mul) ? (u32)prod
+                                                 : (u32)(prod >> 32);
+            S_(r->flags, i) =
+                ((mres >> 31) & 1) << 3 | ((u32)(mres == 0)) << 2;
+            S_(r->mul_pending, i) = 0;
+            n_mw_valid = 1;
+            n_mw_wen = 1;
+            n_mw_rd = rd_f;
+            n_mw_val = mres;
+        }
+    } else if (dispatch && cls == c->cls_lui) {
+        n_mw_valid = 1;
+        n_mw_wen = 1;
+        n_mw_rd = rd_f;
+        n_mw_val = (word & 0xFFFF) << 16;
+    } else if (dispatch && cls == c->cls_mem) {
+        u32 addr = ra_val + imm32;
+        int word_op = opnum == (u32)c->op_ld || opnum == (u32)c->op_st;
+        int misal = word_op && (addr & 3) != 0;
+        int watch = !misal && (ctrl & 4) != 0 && addr == S_(r->dbg_watch0, i);
+        int mpu_hit = 0;
+        u32 mc = S_(r->mpu_ctrl, i);
+        if (mc != 0) {
+            int reg;
+            for (reg = 0; reg < 4; reg++) {
+                if (((mc >> (2 * reg)) & 3) == 3
+                    && S_(r->mpu_base0 + reg, i) <= addr
+                    && addr < S_(r->mpu_limit0 + reg, i))
+                    mpu_hit = 1;
+            }
+        }
+        int mpu = !misal && !watch && mpu_hit;
+        if (mpu)
+            trap_code = (u32)c->cause_mpu;
+        if (watch)
+            trap_code = (u32)c->cause_watch;
+        if (misal)
+            trap_code = (u32)c->cause_misaligned;
+        if (misal || watch || mpu) {
+            trap = 1;
+        } else {
+            if (S_(r->status, i) & (u32)c->status_cnt_en)
+                S_(r->cnt_mem, i) += 1;
+            n_lsu_valid = 1;
+            n_lsu_op = x->lsu_op_of[opnum];
+            S_(r->lsu_addr, i) = addr;
+            if (opnum == (u32)c->op_st || opnum == (u32)c->op_stb)
+                S_(r->lsu_wdata, i) = rb_val;
+            n_mw_valid = 1;
+            if (opnum == (u32)c->op_ld || opnum == (u32)c->op_ldb) {
+                n_mw_wen = 1;
+                n_mw_isload = 1;
+            }
+            n_mw_rd = rd_f;
+            n_mw_val = addr;
+        }
+    } else if (dispatch && cls == c->cls_branch) {
+        if (S_(r->status, i) & (u32)c->status_cnt_en)
+            S_(r->cnt_branch, i) += 1;
+        int64_t bsel = (int64_t)opnum - c->op_beq;
+        if (bsel < 0)
+            bsel = 0;
+        if (bsel > 5)
+            bsel = 5;
+        int taken = 0;
+        switch (bsel) {
+        case 0: taken = ra_val == rb_val; break;
+        case 1: taken = ra_val != rb_val; break;
+        case 2: taken = (int32_t)ra_val < (int32_t)rb_val; break;
+        case 3: taken = (int32_t)ra_val >= (int32_t)rb_val; break;
+        case 4: taken = ra_val < rb_val; break;
+        case 5: taken = ra_val >= rb_val; break;
+        }
+        u32 target = seq_next + (imm32 << 2);
+        S_(r->br_target, i) = target;
+        S_(r->br_taken, i) = (u32)taken;
+        n_br_valid = 1;
+        if (taken) {
+            actual_next = target;
+            S_(r->btb_tag0 + bidx, i) = if_pc;
+            S_(r->btb_tgt0 + bidx, i) = target;
+            S_(r->btb_v, i) |= 1u << bidx;
+        } else if (S_(r->if_pred, i)
+                   && S_(r->btb_tag0 + bidx, i) == if_pc) {
+            /* NOT4[bidx]: clears the way bit and any bits above 3. */
+            S_(r->btb_v, i) &= (~(1u << bidx)) & 0xF;
+        }
+        n_mw_valid = 1;
+    } else if (dispatch && (cls == c->cls_jal || cls == c->cls_jalr)) {
+        u32 off32 = (word & 0x20000) ? ((word & 0x1FFFF) | 0xFFFE0000u)
+                                     : (word & 0x3FFFF);
+        u32 jt = (cls == c->cls_jal) ? seq_next + (off32 << 2)
+                                     : (ra_val + imm32) & 0xFFFFFFFCu;
+        actual_next = jt;
+        S_(r->br_target, i) = jt;
+        S_(r->br_taken, i) = 1;
+        n_br_valid = 1;
+        S_(r->btb_tag0 + bidx, i) = if_pc;
+        S_(r->btb_tgt0 + bidx, i) = jt;
+        S_(r->btb_v, i) |= 1u << bidx;
+        n_mw_valid = 1;
+        n_mw_wen = 1;
+        n_mw_rd = rd_f;
+        n_mw_val = seq_next;
+    } else if (dispatch && cls == c->cls_in) {
+        n_lsu_valid = 1;
+        n_lsu_op = 5;
+        S_(r->lsu_addr, i) = imm32;
+        n_mw_valid = 1;
+        n_mw_wen = 1;
+        n_mw_isload = 1;
+        n_mw_rd = rd_f;
+    } else if (dispatch && cls == c->cls_out) {
+        n_lsu_valid = 1;
+        n_lsu_op = 6;
+        S_(r->lsu_addr, i) = imm32;
+        S_(r->lsu_wdata, i) = rb_val;
+        n_mw_valid = 1;
+    } else if (dispatch && cls == c->cls_csrr) {
+        u32 csr_idx = word & 0x3FFF;
+        n_mw_valid = 1;
+        n_mw_wen = 1;
+        n_mw_rd = rd_f;
+        n_mw_val = S_(x->csr_read[csr_idx], i);
+    } else if (dispatch && cls == c->cls_csrw) {
+        u32 csr_idx = word & 0x3FFF;
+        S_(x->csr_write[csr_idx], i) = rb_val & x->csr_wmask[csr_idx];
+        n_mw_valid = 1;
+    } else if (dispatch && cls == c->cls_nop) {
+        n_mw_valid = 1;
+    } else if (dispatch && cls == c->cls_halt) {
+        halt_now = 1;
+    }
+
+    if (trap) {
+        S_(r->cause, i) = trap_code;
+        S_(r->epc, i) = if_pc;
+        S_(r->status, i) |= 1;
+        S_(r->sflags, i) = S_(r->flags, i);
+    }
+
+    int mispred = dispatch && !trap && !stall && !halt_now
+                  && actual_next != fetched_next;
+    int redirect = trap || mispred;
+    u32 redirect_tgt = trap ? (u32)c->exc_vector : actual_next;
+
+    /* DX -> MW latches (n_mw_pc reads mw_pc before the overwrite). */
+    u32 n_mw_pc = if_valid ? if_pc : S_(r->mw_pc, i);
+    S_(r->mw_valid, i) = stall ? 0 : n_mw_valid;
+    if (!stall) {
+        S_(r->mw_wen, i) = n_mw_wen;
+        S_(r->mw_isload, i) = n_mw_isload;
+        S_(r->mw_rd, i) = n_mw_rd;
+        S_(r->mw_val, i) = n_mw_val;
+        S_(r->mw_pc, i) = n_mw_pc;
+    }
+    S_(r->lsu_valid, i) = stall ? 0 : n_lsu_valid;
+    S_(r->lsu_op, i) = stall ? 0 : n_lsu_op;
+    S_(r->br_valid, i) = n_br_valid;
+
+    /* ---------------- IF stages ---------------- */
+    u32 fetch_addr = 0, fetch_word = 0;
+    int fetched = 0;
+    if (halt_now) {
+        S_(r->halted, i) = 1;
+        S_(r->if_valid, i) = 0;
+        S_(r->imc_valid, i) = 0;
+        S_(r->imc_pred, i) = 0;
+    } else if (redirect) {
+        S_(r->pc, i) = redirect_tgt;
+        S_(r->if_valid, i) = 0;
+        S_(r->if_pred, i) = 0;
+        S_(r->imc_valid, i) = 0;
+        S_(r->imc_pred, i) = 0;
+    } else if (!stall) {
+        u32 pc_old = S_(r->pc, i);
+        /* IF2: prefetch buffer -> decode latch. */
+        S_(r->if_ir, i) = S_(r->imc_data, i);
+        S_(r->if_pc, i) = S_(r->imc_addr, i);
+        S_(r->if_valid, i) = S_(r->imc_valid, i);
+        S_(r->if_pred, i) = S_(r->imc_pred, i);
+        S_(r->if_ptgt, i) = S_(r->imc_ptgt, i);
+        /* IF1: fetch at pc with BTB next-fetch prediction. */
+        u32 fw = M[(pc_old >> 2) % mem_words];
+        S_(r->imc_addr, i) = pc_old;
+        S_(r->imc_data, i) = fw;
+        S_(r->imc_valid, i) = 1;
+        u32 fb = (pc_old >> 2) & 3;
+        if ((S_(r->btb_v, i) & (1u << fb)) != 0
+            && S_(r->btb_tag0 + fb, i) == pc_old) {
+            u32 tgt = S_(r->btb_tgt0 + fb, i);
+            S_(r->pc, i) = tgt;
+            S_(r->imc_pred, i) = 1;
+            S_(r->imc_ptgt, i) = tgt;
+        } else {
+            S_(r->pc, i) = pc_old + 4;
+            S_(r->imc_pred, i) = 0;
+        }
+        fetch_addr = pc_old;
+        fetch_word = fw;
+        fetched = 1;
+    }
+
+    /* ---------------- BIU external bus view ---------------- */
+    if (d_any) {
+        S_(r->bus_addr, i) = prim_addr;
+        S_(r->bus_data, i) = d_read ? load_data : sb_data;
+        S_(r->bus_ctrl, i) = d_write ? 3 : 2;
+    } else if (fetched) {
+        S_(r->bus_addr, i) = fetch_addr;
+        S_(r->bus_data, i) = fetch_word;
+        S_(r->bus_ctrl, i) = 1;
+    } else {
+        S_(r->bus_ctrl, i) = 0;
+    }
+
+    S_(r->cyc, i) += 1;
+}
+
+/* -- buffer plumbing -------------------------------------------------------- */
+
+typedef struct {
+    const char *name;
+    int writable;
+    Py_ssize_t itemsize;
+} BufSpec;
+
+static int get_buf(PyObject *obj, Py_buffer *view, const BufSpec *spec)
+{
+    int flags = PyBUF_C_CONTIGUOUS;
+    if (spec->writable)
+        flags |= PyBUF_WRITABLE;
+    if (PyObject_GetBuffer(obj, view, flags) < 0)
+        return -1;
+    if (view->itemsize != spec->itemsize) {
+        PyErr_Format(PyExc_ValueError, "%s: expected itemsize %zd, got %zd",
+                     spec->name, spec->itemsize, view->itemsize);
+        PyBuffer_Release(view);
+        view->obj = NULL;
+        return -1;
+    }
+    return 0;
+}
+
+static const BufSpec TABLE_SPECS[13] = {
+    {"rowmap", 0, 8},     {"consts", 0, 8},        {"opc_cls", 0, 8},
+    {"opc_valid", 0, 1},  {"opc_imm", 0, 1},       {"alu_sel", 0, 8},
+    {"lsu_op_of", 0, 4},  {"rf_read_row", 0, 8},   {"rf_write_row", 0, 8},
+    {"csr_read_row", 0, 8}, {"csr_write_row", 0, 8}, {"csr_write_mask", 0, 4},
+    {"port_rows16", 0, 8},
+};
+
+/* Fill the Ctx tables from the 13-tuple; all buffers are recorded in
+ * `views` for release by the caller. */
+static int load_tables(PyObject *tables, Py_buffer views[13], Ctx *x)
+{
+    Py_ssize_t k;
+    if (!PyTuple_Check(tables) || PyTuple_GET_SIZE(tables) != 13) {
+        PyErr_SetString(PyExc_TypeError, "tables must be a 13-tuple");
+        return -1;
+    }
+    for (k = 0; k < 13; k++)
+        views[k].obj = NULL;
+    for (k = 0; k < 13; k++) {
+        if (get_buf(PyTuple_GET_ITEM(tables, k), &views[k],
+                    &TABLE_SPECS[k]) < 0)
+            return -1;
+    }
+    if (views[0].len != N_ROWMAP * 8 || views[1].len != N_CONSTS * 8) {
+        PyErr_SetString(PyExc_ValueError, "rowmap/consts length mismatch");
+        return -1;
+    }
+    memcpy(&x->r, views[0].buf, sizeof(RowMap));
+    memcpy(&x->c, views[1].buf, sizeof(Consts));
+    x->opc_cls = (const int64_t *)views[2].buf;
+    x->opc_valid = (const uint8_t *)views[3].buf;
+    x->opc_imm = (const uint8_t *)views[4].buf;
+    x->alu_sel = (const int64_t *)views[5].buf;
+    x->lsu_op_of = (const u32 *)views[6].buf;
+    x->rf_read = (const int64_t *)views[7].buf;
+    x->rf_write = (const int64_t *)views[8].buf;
+    x->csr_read = (const int64_t *)views[9].buf;
+    x->csr_write = (const int64_t *)views[10].buf;
+    x->csr_wmask = (const u32 *)views[11].buf;
+    x->port_rows = (const int64_t *)views[12].buf;
+    return 0;
+}
+
+static void release_all(Py_buffer *views, Py_ssize_t count)
+{
+    Py_ssize_t k;
+    for (k = 0; k < count; k++) {
+        if (views[k].obj != NULL)
+            PyBuffer_Release(&views[k]);
+    }
+}
+
+/* -- step(S, M, stim, tables, n): one plain cycle, no driver logic --------- */
+
+static PyObject *py_step(PyObject *self, PyObject *args)
+{
+    PyObject *s_obj, *m_obj, *stim_obj, *tables;
+    Py_ssize_t n;
+    if (!PyArg_ParseTuple(args, "OOOOn", &s_obj, &m_obj, &stim_obj,
+                          &tables, &n))
+        return NULL;
+
+    Py_buffer sv = {0}, mv = {0}, stv = {0}, tv[13];
+    Ctx x;
+    PyObject *ret = NULL;
+    static const BufSpec s_spec = {"S", 1, 4};
+    static const BufSpec m_spec = {"M", 1, 4};
+    static const BufSpec st_spec = {"stim", 0, 4};
+
+    if (get_buf(s_obj, &sv, &s_spec) < 0)
+        return NULL;
+    if (get_buf(m_obj, &mv, &m_spec) < 0)
+        goto done_s;
+    if (get_buf(stim_obj, &stv, &st_spec) < 0)
+        goto done_m;
+    if (load_tables(tables, tv, &x) < 0)
+        goto done_tables;
+    if (sv.ndim != 2 || mv.ndim != 2) {
+        PyErr_SetString(PyExc_ValueError, "S and M must be 2-D");
+        goto done_tables;
+    }
+    x.S = (u32 *)sv.buf;
+    x.n_rows = sv.shape[0];
+    x.B = sv.shape[1];
+    x.M = (u32 *)mv.buf;
+    x.mem_words = mv.shape[1];
+    x.stim = (const u32 *)stv.buf;
+    x.stim_len = stv.len / 4;
+    if (n < 0 || n > x.B || mv.shape[0] != x.B || x.stim_len <= 0
+        || x.mem_words <= 0) {
+        PyErr_SetString(PyExc_ValueError, "inconsistent lane shapes");
+        goto done_tables;
+    }
+
+    {
+        Py_ssize_t i;
+        for (i = 0; i < n; i++)
+            step_lane(&x, i);
+    }
+    ret = Py_None;
+    Py_INCREF(ret);
+
+done_tables:
+    release_all(tv, 13);
+    PyBuffer_Release(&stv);
+done_m:
+    PyBuffer_Release(&mv);
+done_s:
+    PyBuffer_Release(&sv);
+    return ret;
+}
+
+/* -- drive(...): the fused driver hot loop ---------------------------------
+ *
+ * Runs every lane independently to its own next rare-path event
+ * (lanes outer, cycles inner — one lane's SoA column is ~100 cache
+ * lines, so the inner loop runs entirely out of L1 regardless of the
+ * batch width).  Per cycle and per lane the order matches the numpy
+ * driver exactly: horizon check, masking/re-convergence check (with
+ * the routine bookkeeping — stride bumps, stuck-at interval backoff —
+ * handled inline), force re-assert, golden port compare, step.  A lane
+ * parks, without stepping further, when
+ *
+ *   - it reaches its observation horizon (t >= end),
+ *   - its state goes bit-identical to golden at a check cycle (soft
+ *     retire, or stuck-at fast-forward — the pre-force compare, as in
+ *     the numpy driver), or
+ *   - its ports differ from golden at its current cycle; the lane is
+ *     left pre-step with the force applied, so the Python detection
+ *     path sees exactly what the numpy kernel would have seen.
+ *
+ * Returns (cycles_run, diverged): cycles_run is the total number of
+ * lane-cycles actually stepped (the caller charges it verbatim to
+ * PruneStats.sim_cycles), diverged is 1 iff at least one lane parked
+ * on a port divergence.  On return *every* lane is parked at one of
+ * the three events above; the Python phases (a)/(b)/(d) re-derive
+ * which from the lane state itself and retire/fast-forward/record
+ * through the same code path as the numpy kernel.
+ */
+static PyObject *py_drive(PyObject *self, PyObject *args)
+{
+    PyObject *s_obj, *m_obj, *sm_obj, *pm_obj, *stim_obj;
+    PyObject *t_obj, *end_obj, *chk_obj, *iv_obj, *hard_obj;
+    PyObject *frow_obj, *fand_obj, *for_obj, *tables;
+    Py_ssize_t n, stride, max_cycles;
+
+    if (!PyArg_ParseTuple(args, "OOOOOOOOOOOOOOnnn", &s_obj, &m_obj,
+                          &sm_obj, &pm_obj, &stim_obj, &t_obj, &end_obj,
+                          &chk_obj, &iv_obj, &hard_obj, &frow_obj,
+                          &fand_obj, &for_obj, &tables, &n, &stride,
+                          &max_cycles))
+        return NULL;
+
+    enum { B_S, B_M, B_SM, B_PM, B_STIM, B_T, B_END, B_CHK, B_IV,
+           B_HARD, B_FROW, B_FAND, B_FOR, NBUF };
+    static const BufSpec specs[NBUF] = {
+        {"S", 1, 4},        {"M", 1, 4},         {"sm", 0, 4},
+        {"pm", 0, 4},       {"stim", 0, 4},      {"t", 1, 8},
+        {"end", 0, 8},      {"next_chk", 1, 8},  {"chk_iv", 1, 8},
+        {"is_hard", 0, 1},  {"force_row", 0, 8}, {"force_and", 0, 4},
+        {"force_or", 0, 4},
+    };
+    PyObject *objs[NBUF];
+    objs[B_S] = s_obj; objs[B_M] = m_obj; objs[B_SM] = sm_obj;
+    objs[B_PM] = pm_obj; objs[B_STIM] = stim_obj; objs[B_T] = t_obj;
+    objs[B_END] = end_obj; objs[B_CHK] = chk_obj; objs[B_IV] = iv_obj;
+    objs[B_HARD] = hard_obj; objs[B_FROW] = frow_obj;
+    objs[B_FAND] = fand_obj; objs[B_FOR] = for_obj;
+
+    Py_buffer views[NBUF], tv[13];
+    Py_ssize_t k;
+    PyObject *ret = NULL;
+    int tables_held = 0;
+    Ctx ctx;
+    Ctx *x = &ctx;
+
+    for (k = 0; k < NBUF; k++)
+        views[k].obj = NULL;
+    for (k = 0; k < NBUF; k++) {
+        if (get_buf(objs[k], &views[k], &specs[k]) < 0)
+            goto cleanup;
+    }
+    if (load_tables(tables, tv, x) < 0) {
+        tables_held = 1;
+        goto cleanup;
+    }
+    tables_held = 1;
+
+    if (views[B_S].ndim != 2 || views[B_M].ndim != 2
+        || views[B_SM].ndim != 2 || views[B_PM].ndim != 2) {
+        PyErr_SetString(PyExc_ValueError, "S/M/sm/pm must be 2-D");
+        goto cleanup;
+    }
+    x->S = (u32 *)views[B_S].buf;
+    x->n_rows = views[B_S].shape[0];
+    x->B = views[B_S].shape[1];
+    x->M = (u32 *)views[B_M].buf;
+    x->mem_words = views[B_M].shape[1];
+    x->stim = (const u32 *)views[B_STIM].buf;
+    x->stim_len = views[B_STIM].len / 4;
+
+    const u32 *sm = (const u32 *)views[B_SM].buf;
+    const Py_ssize_t sm_cols = views[B_SM].shape[1];
+    const Py_ssize_t sm_cycles = views[B_SM].shape[0];
+    const u32 *pm = (const u32 *)views[B_PM].buf;
+    const Py_ssize_t pm_cols = views[B_PM].shape[1];
+    const Py_ssize_t pm_cycles = views[B_PM].shape[0];
+    int64_t *t = (int64_t *)views[B_T].buf;
+    const int64_t *end = (const int64_t *)views[B_END].buf;
+    int64_t *next_chk = (int64_t *)views[B_CHK].buf;
+    int64_t *chk_iv = (int64_t *)views[B_IV].buf;
+    const uint8_t *is_hard = (const uint8_t *)views[B_HARD].buf;
+    const int64_t *force_row = (const int64_t *)views[B_FROW].buf;
+    const u32 *force_and = (const u32 *)views[B_FAND].buf;
+    const u32 *force_or = (const u32 *)views[B_FOR].buf;
+    const Py_ssize_t n_regs = (Py_ssize_t)x->c.n_regs;
+
+    if (n < 0 || n > x->B || views[B_M].shape[0] != x->B
+        || views[B_T].len / 8 < n || views[B_END].len / 8 < n
+        || views[B_CHK].len / 8 < n || views[B_IV].len / 8 < n
+        || views[B_HARD].len < n || views[B_FROW].len / 8 < n
+        || views[B_FAND].len / 4 < n || views[B_FOR].len / 4 < n
+        || sm_cols < n_regs || pm_cols < 18 || n_regs > x->n_rows
+        || x->stim_len <= 0 || x->mem_words <= 0) {
+        PyErr_SetString(PyExc_ValueError, "inconsistent drive shapes");
+        goto cleanup;
+    }
+
+    Py_ssize_t cycles_run = 0;
+    int diverged = 0;
+    const RowMap *r = &x->r;
+    Py_ssize_t i;
+
+    for (i = 0; i < n; i++) {
+        Py_ssize_t ran = 0;
+        while (ran < max_cycles) {
+            /* Rare-path events: observation horizon, or state equal
+             * to golden at a check cycle (retire / fast-forward).
+             * Routine check outcomes (state differs) are handled
+             * inline exactly as the numpy driver would: soft lanes
+             * re-check every `stride` cycles, stuck-at lanes back off
+             * exponentially.  The checks run pre-force on purpose —
+             * the scalar engine's snapshot at the same cycle is
+             * equally unforced. */
+            if (t[i] >= end[i])
+                break;
+            if (t[i] == next_chk[i]) {
+                if (t[i] < 0 || t[i] >= sm_cycles) {
+                    PyErr_SetString(PyExc_ValueError,
+                                    "lane cycle outside golden trace");
+                    goto cleanup;
+                }
+                const u32 *g = sm + (size_t)t[i] * (size_t)sm_cols;
+                int eq = 1;
+                Py_ssize_t row;
+                for (row = 0; row < n_regs; row++) {
+                    if (x->S[(size_t)row * (size_t)x->B + (size_t)i]
+                        != g[row]) {
+                        eq = 0;
+                        break;
+                    }
+                }
+                if (eq)
+                    break;
+                if (is_hard[i]) {
+                    chk_iv[i] *= 2;
+                    next_chk[i] = t[i] + chk_iv[i];
+                } else {
+                    next_chk[i] += stride;
+                }
+            }
+
+            /* Re-assert the stuck-at force (soft lanes force the sink
+             * row). */
+            u32 *fp = &x->S[(size_t)force_row[i] * (size_t)x->B
+                            + (size_t)i];
+            *fp = (*fp & force_and[i]) | force_or[i];
+
+            /* Golden port compare at the lane's own cycle. */
+            if (t[i] < 0 || t[i] >= pm_cycles) {
+                PyErr_SetString(PyExc_ValueError,
+                                "lane cycle outside golden ports");
+                goto cleanup;
+            }
+            const u32 *g = pm + (size_t)t[i] * (size_t)pm_cols;
+            int div = 0;
+            Py_ssize_t pk;
+            for (pk = 0; pk < 16; pk++) {
+                if (x->S[(size_t)x->port_rows[pk] * (size_t)x->B
+                         + (size_t)i] != g[pk]) {
+                    div = 1;
+                    break;
+                }
+            }
+            if (!div) {
+                u32 evs = (S_(r->status, i) & 1) | (S_(r->halted, i) << 1);
+                u32 evb = S_(r->br_taken, i) | (S_(r->br_valid, i) << 1);
+                if (evs != g[16] || evb != g[17])
+                    div = 1;
+            }
+            if (div) {
+                diverged = 1;
+                break;
+            }
+
+            step_lane(x, i);
+            t[i] += 1;
+            ran++;
+        }
+        cycles_run += ran;
+    }
+
+    ret = Py_BuildValue("(ni)", cycles_run, diverged);
+
+cleanup:
+    if (tables_held)
+        release_all(tv, 13);
+    release_all(views, NBUF);
+    return ret;
+}
+
+static PyMethodDef methods[] = {
+    {"step", py_step, METH_VARARGS,
+     "step(S, M, stim, tables, n): advance lanes 0..n-1 one cycle."},
+    {"drive", py_drive, METH_VARARGS,
+     "drive(S, M, sm, pm, stim, t, end, next_chk, chk_iv, is_hard, "
+     "force_row, force_and, force_or, tables, n, stride, max_cycles) "
+     "-> (cycles_run, diverged): fused force/compare/step loop."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef moduledef = {
+    PyModuleDef_HEAD_INIT, "_cstep",
+    "Compiled fused batch-step kernel (see repro.faults.batch).",
+    -1, methods,
+};
+
+PyMODINIT_FUNC PyInit__cstep(void)
+{
+    return PyModule_Create(&moduledef);
+}

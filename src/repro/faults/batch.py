@@ -66,6 +66,7 @@ from ..cpu.core import Cpu
 from ..cpu.memory import Memory
 from ..cpu.units import REG_INDEX, REGISTRY
 from ..lockstep.categories import diverged_ports
+from . import kernels as _kernels
 from .golden import GoldenTrace
 from .injector import _CONVERGE_CHECK_START, PruneStats
 from .models import ErrorRecord, Fault, FaultKind
@@ -183,6 +184,84 @@ _FULL32 = _U32(0xFFFFFFFF)
 #: this the kernel loses to plain Python, so such lanes drain scalar.
 _KERNEL_BREAKEVEN_LANES = 192
 
+# -- compiled kernel tables ---------------------------------------------------
+
+#: S-row names in the exact order of the C kernel's RowMap struct
+#: (_cstepmodule.c).  The per-cycle SoA parity test catches any drift.
+_ROW_ORDER = (
+    "pc", "btb_tag0", "btb_tgt0", "btb_v",
+    "imc_addr", "imc_data", "imc_valid", "imc_pred", "imc_ptgt",
+    "if_ir", "if_pc", "if_valid", "if_pred", "if_ptgt",
+    "mw_val", "mw_pc", "mw_rd", "mw_wen", "mw_valid", "mw_isload",
+    "mul_a", "mul_b", "mul_pending",
+    "flags", "sflags",
+    "br_target", "br_taken", "br_valid",
+    "ret_pc", "ret_val", "ret_rd", "ret_valid",
+    "lsu_addr", "lsu_wdata", "lsu_op", "lsu_valid",
+    "sb_addr", "sb_data", "sb_valid", "sb_op",
+    "dmc_addr", "dmc_wdata", "dmc_rdata", "dmc_ctrl", "dmc_strb",
+    "mpu_base0", "mpu_limit0", "mpu_ctrl",
+    "bus_addr", "bus_data", "bus_ctrl",
+    "io_out", "io_out_v", "io_in", "io_in_idx",
+    "status", "cause", "epc", "cyc", "halted",
+    "dbg_bkpt0", "dbg_bkpt1", "dbg_watch0", "dbg_ctrl",
+    "irq_mask", "irq_pending", "cnt_branch", "cnt_mem",
+)
+
+_CEXT_TABLES: tuple | None = None
+
+
+def _cext_tables() -> tuple:
+    """The 13 lookup buffers the C kernel gathers through.
+
+    Order and dtypes match ``TABLE_SPECS`` in ``_cstepmodule.c``; the
+    first two entries fill the RowMap/Consts structs by memcpy in the
+    declaration order above.  Built once per process — the arrays are
+    immutable shared tables.
+    """
+    global _CEXT_TABLES
+    if _CEXT_TABLES is None:
+        rowmap = np.array([_R[name] for name in _ROW_ORDER], dtype=np.int64)
+        consts = np.array([
+            isa.CLS_ALU, isa.CLS_MUL, isa.CLS_LUI, isa.CLS_MEM,
+            isa.CLS_BRANCH, isa.CLS_JAL, isa.CLS_JALR, isa.CLS_IN,
+            isa.CLS_OUT, isa.CLS_CSRR, isa.CLS_CSRW, isa.CLS_NOP,
+            isa.CLS_HALT,
+            isa.CAUSE_ILLEGAL, isa.CAUSE_BKPT, isa.CAUSE_IRQ,
+            isa.CAUSE_MPU, isa.CAUSE_WATCH, isa.CAUSE_MISALIGNED,
+            isa.EXC_VECTOR, isa.STATUS_CNT_EN,
+            int(isa.Op.MUL), int(isa.Op.LD), int(isa.Op.LDB),
+            int(isa.Op.ST), int(isa.Op.STB), int(isa.Op.BEQ),
+            N_REGS,
+        ], dtype=np.int64)
+        _CEXT_TABLES = (
+            rowmap, consts,
+            OPC_CLS.astype(np.int64), OPC_VALID, OPC_IMM,
+            ALU_SEL.astype(np.int64), LSU_OP_OF,
+            RF_READ_ROW.astype(np.int64), RF_WRITE_ROW.astype(np.int64),
+            CSR_READ_ROW.astype(np.int64), CSR_WRITE_ROW.astype(np.int64),
+            CSR_WRITE_MASK, PORT_ROWS16.astype(np.int64),
+        )
+    return _CEXT_TABLES
+
+
+def _golden_c_matrices(golden: GoldenTrace) -> tuple[np.ndarray, np.ndarray]:
+    """Row-major uint32 views of the golden matrices for the C kernel.
+
+    The numpy kernel gathers cycle *columns* and wants the transposed
+    copies (``_smT``/``_pmT``); the C kernel walks one cycle row at a
+    time and wants plain C order.  Cached on the trace so every engine
+    (and every shard in a worker process) shares one copy.
+    """
+    sm32 = getattr(golden, "_cstep_sm32", None)
+    if sm32 is None:
+        sm32 = np.ascontiguousarray(golden.state_matrix, dtype=_U32)
+        pm32 = np.ascontiguousarray(golden.port_matrix, dtype=_U32)
+        golden._cstep_sm32 = sm32
+        golden._cstep_pm32 = pm32
+    return sm32, golden._cstep_pm32
+
+
 _CLS_ALU = isa.CLS_ALU
 _CLS_MUL = isa.CLS_MUL
 _CLS_LUI = isa.CLS_LUI
@@ -216,21 +295,31 @@ class BatchInjectionEngine:
 
     def __init__(self, golden: GoldenTrace, max_observe: int | None = None,
                  mask_check_stride: int = 4, prune: bool = True,
-                 batch: int = 256, tail_lanes: int | None = None):
+                 batch: int = 256, tail_lanes: int | None = None,
+                 kernel: str | None = None):
         self.golden = golden
         self.max_observe = max_observe
         self.mask_check_stride = max(1, mask_check_stride)
         self.prune = prune
         self.batch = max(1, batch)
-        # Below this many live lanes the kernel's fixed per-call
+        #: Resolved step-kernel backend ("cext" or "numpy"); see
+        #: :mod:`repro.faults.kernels` for the selection rules.
+        self.kernel = _kernels.resolve_kernel(kernel)
+        self._cext = _kernels.cext_module() if self.kernel == "cext" else None
+        # Below this many live lanes the numpy kernel's fixed per-call
         # dispatch cost exceeds per-lane Python stepping, so such lanes
         # are finished scalar: as the straggler tail once the queue is
         # empty, or — when the batch size itself is at or below the
         # breakeven — for the entire run (the engine then degrades
         # gracefully to scalar speed instead of paying the dispatch
-        # cost at hopeless occupancy).  0 disables the fallback.
+        # cost at hopeless occupancy).  0 disables the fallback; it is
+        # also the compiled kernel's default, which has no dispatch
+        # floor to amortize and outruns per-lane Python at any
+        # occupancy.  Either default yields identical digests (the
+        # drain replays the exact per-lane decision sequence).
         if tail_lanes is None:
-            tail_lanes = min(self.batch, _KERNEL_BREAKEVEN_LANES)
+            tail_lanes = (0 if self._cext is not None
+                          else min(self.batch, _KERNEL_BREAKEVEN_LANES))
         self._tail_lanes = tail_lanes
         self._tail_cpu: Cpu | None = None
         self.stats = PruneStats()
@@ -248,6 +337,9 @@ class BatchInjectionEngine:
         self._g_ports = golden.port_tuples()
         self._stim = np.array(golden.stimulus.values, dtype=_U32)
         self._stim_len = len(golden.stimulus.values)
+        if self._cext is not None:
+            self._sm32, self._pm32 = _golden_c_matrices(golden)
+            self._tables = _cext_tables()
 
         # Per-lane bookkeeping.
         self.t = np.zeros(B, dtype=np.int64)          # current cycle
@@ -256,7 +348,8 @@ class BatchInjectionEngine:
         self.next_chk = np.zeros(B, dtype=np.int64)   # next masking/convergence check
         self.chk_iv = np.zeros(B, dtype=np.int64)     # stuck-at check interval
         self.seq = np.zeros(B, dtype=np.int64)        # index into the outcome list
-        self.force_row = np.full(B, TRASH_ROW, dtype=np.intp)
+        # int64 (not intp): the C kernel reads this buffer as 8-byte rows.
+        self.force_row = np.full(B, TRASH_ROW, dtype=np.int64)
         self.force_and = np.full(B, _FULL32, dtype=_U32)
         self.force_or = np.zeros(B, dtype=_U32)
         self.is_hard = np.zeros(B, dtype=bool)
@@ -372,7 +465,58 @@ class BatchInjectionEngine:
 
     # -- lane lifecycle ------------------------------------------------------
 
+    def _seed_many(self, pending: deque) -> None:
+        """Seed up to ``batch - n`` lanes from the fault queue in bulk.
+
+        Vectorised counterpart of :meth:`_seed`: under the compiled
+        kernel whole generations of lanes retire at once, so refills
+        arrive hundreds at a time and per-lane numpy dispatch dominated
+        the seeding phase.  Same lane state, one fancy-indexed
+        assignment per array (only the per-start memory reconstruction
+        stays a loop — each start replays a different write-log span).
+        """
+        take = min(self.batch - self._n, len(pending))
+        if take <= 0:
+            return
+        specs = [pending.popleft() for _ in range(take)]
+        i0 = self._n
+        self._n = i0 + take
+        sl = slice(i0, i0 + take)
+        starts = np.fromiter((s[2] for s in specs), np.int64, count=take)
+        self.S[:N_REGS, sl] = self._smT[:, starts]
+        self.S[ZERO_ROW, sl] = 0
+        self.S[TRASH_ROW, sl] = 0
+        info = self.info
+        mem = self.golden.memory_words_at
+        for j, (seq, fault, start, end, key) in enumerate(specs):
+            mem(start, out=self.M[i0 + j])
+            info[i0 + j] = (fault, key)
+        self.t[sl] = starts
+        self.start[sl] = starts
+        self.end[sl] = np.fromiter((s[3] for s in specs), np.int64,
+                                   count=take)
+        self.seq[sl] = np.fromiter((s[0] for s in specs), np.int64,
+                                   count=take)
+        reg_rows = np.fromiter(
+            (REG_INDEX[s[1].flop.reg] for s in specs), np.int64, count=take)
+        masks = np.fromiter(
+            ((1 << s[1].flop.bit) & _M32 for s in specs), _U32, count=take)
+        soft = np.fromiter(
+            (s[1].kind is FaultKind.SOFT for s in specs), bool, count=take)
+        stuck1 = np.fromiter(
+            (s[1].kind is FaultKind.STUCK1 for s in specs), bool, count=take)
+        self.is_hard[sl] = ~soft
+        flip_cols = np.arange(i0, i0 + take)[soft]
+        self.S[reg_rows[soft], flip_cols] ^= masks[soft]
+        self.force_row[sl] = np.where(soft, TRASH_ROW, reg_rows)
+        self.force_and[sl] = np.where(soft | stuck1, _FULL32, ~masks)
+        self.force_or[sl] = np.where(stuck1, masks, _U32(0))
+        self.next_chk[sl] = starts + np.where(soft, 1, _CONVERGE_CHECK_START)
+        self.chk_iv[sl] = np.where(soft, self.mask_check_stride,
+                                   _CONVERGE_CHECK_START)
+
     def _seed(self, spec) -> None:
+        """Scalar reference for :meth:`_seed_many` (pinned by tests)."""
         seq, fault, start, end, key = spec
         i = self._n
         self._n = i + 1
@@ -431,25 +575,34 @@ class BatchInjectionEngine:
                     diverged=diverged)
 
     def _compact(self, dead) -> None:
-        """Remove retired lanes by moving live tail columns into the holes."""
-        for i in sorted(dead, reverse=True):
-            self._n -= 1
-            last = self._n
-            self.info[last], self.info[i] = None, self.info[last]
-            if i == last:
-                continue
-            self.S[:, i] = self.S[:, last]
-            self.M[i] = self.M[last]
-            self.t[i] = self.t[last]
-            self.end[i] = self.end[last]
-            self.start[i] = self.start[last]
-            self.next_chk[i] = self.next_chk[last]
-            self.chk_iv[i] = self.chk_iv[last]
-            self.seq[i] = self.seq[last]
-            self.force_row[i] = self.force_row[last]
-            self.force_and[i] = self.force_and[last]
-            self.force_or[i] = self.force_or[last]
-            self.is_hard[i] = self.is_hard[last]
+        """Remove retired lanes by moving live tail columns into the holes.
+
+        One fancy-indexed copy per array instead of a per-lane scalar
+        shuffle: retirements arrive hundreds at a time under the
+        compiled kernel, and lane order is immaterial (every decision
+        is lane-local and outcomes are keyed by ``seq``).
+        """
+        dead_set = set(dead)
+        n = self._n
+        new_n = n - len(dead_set)
+        self._n = new_n
+        # Surviving tail lanes drop into the holes below the new count,
+        # in order; |holes| == |movers| by construction.
+        holes = sorted(i for i in dead_set if i < new_n)
+        movers = [i for i in range(new_n, n) if i not in dead_set]
+        info = self.info
+        for hole, mover in zip(holes, movers):
+            info[hole] = info[mover]
+        for i in range(new_n, n):
+            info[i] = None
+        if not holes:
+            return
+        self.S[:, holes] = self.S[:, movers]
+        self.M[holes] = self.M[movers]
+        for arr in (self.t, self.end, self.start, self.next_chk,
+                    self.chk_iv, self.seq, self.force_row, self.force_and,
+                    self.force_or, self.is_hard):
+            arr[holes] = arr[movers]
 
     # -- main driver ---------------------------------------------------------
 
@@ -465,12 +618,35 @@ class BatchInjectionEngine:
         # still pending (the outer loop refills and drains again).
         all_scalar = B <= self._tail_lanes
         while self._n or pending:
-            while self._n < B and pending:
-                self._seed(pending.popleft())
+            self._seed_many(pending)
             n = self._n
             if n <= self._tail_lanes and (all_scalar or not pending):
                 self._drain_scalar()
                 continue
+
+            # Compiled kernel: one C call runs *every* lane to its own
+            # next rare-path event (lanes outer, cycles inner — each
+            # lane's column stays L1-resident however wide the batch
+            # is), fusing phases (c)/(d)/(e) and the routine phase-(b)
+            # check-interval bumps inline.  On return every lane is
+            # parked at a horizon, state-equality or port-divergence
+            # event, pre-step with forces applied where the numpy
+            # driver would have them — so the phases below re-derive
+            # the event kind from the lane state itself and handle
+            # retirement, fast-forward, detection and record
+            # construction through the numpy code path unchanged.
+            # Parked lanes re-entering the call park again instantly
+            # (zero cycles), so each driver iteration still strictly
+            # progresses: it retires, records, or fast-forwards at
+            # least one lane.
+            if self._cext is not None:
+                ran, _hit = self._cext.drive(
+                    self.S, self.M, self._sm32, self._pm32, self._stim,
+                    t, self.end, self.next_chk, self.chk_iv,
+                    self.is_hard, self.force_row, self.force_and,
+                    self.force_or, self._tables, n,
+                    self.mask_check_stride, 1 << 30)
+                stats.sim_cycles += ran
 
             # (a) lanes past their observation horizon: masked.
             done = np.nonzero(t[:n] >= self.end[:n])[0]
@@ -544,11 +720,15 @@ class BatchInjectionEngine:
             div |= evb != gp[17]
             det = np.nonzero(div)[0]
             if det.size:
-                for idx in det:
-                    i = int(idx)
-                    tcur = int(tt[i])
-                    out = tuple(int(P16[k, i]) for k in range(16))
-                    out += (int(evs[i]), int(evb[i]))
+                # One bulk extraction instead of 18 scalar conversions
+                # per detection — detections arrive hundreds at a time
+                # under the compiled kernel.
+                det_l = det.tolist()
+                ports16 = P16[:, det].T.tolist()
+                ev_l = np.stack((evs[det], evb[det]), axis=1).tolist()
+                t_l = tt[det].tolist()
+                for i, tcur, p16, ev in zip(det_l, t_l, ports16, ev_l):
+                    out = tuple(p16) + tuple(ev)
                     fault, _key = self.info[i]
                     record = ErrorRecord(
                         benchmark=name, flop=fault.flop, kind=fault.kind,
@@ -556,7 +736,7 @@ class BatchInjectionEngine:
                         diverged=diverged_ports(out, g_ports[tcur]))
                     stats.sim_cycles += 1  # the scalar step that showed this tuple
                     self._finish(i, record)
-                self._compact(det.tolist())
+                self._compact(det_l)
                 continue
 
             # (e) advance every live lane one cycle.

@@ -187,14 +187,14 @@ def schedule_faults(flop: FlopRef, n_cycles: int, config: CampaignConfig,
 
     def pick_cycles(count: int) -> list[int]:
         count = min(count, n_intervals)
-        intervals = rng.choice(n_intervals, size=count, replace=False)
-        cycles = []
-        for iv in intervals:
-            iv = int(iv)
-            lo = iv * base + min(iv, extra)
-            length = base + (1 if iv < extra else 0)
-            cycles.append(lo + int(rng.integers(length)))
-        return cycles
+        iv = rng.choice(n_intervals, size=count, replace=False).astype(np.int64)
+        lo = iv * base + np.minimum(iv, extra)
+        lengths = np.where(iv < extra, base + 1, base)
+        # One vectorised bounded draw per interval batch: numpy's
+        # Generator consumes the bitstream per element exactly as the
+        # equivalent sequence of scalar ``integers(length)`` calls
+        # (tested property), so schedules — and digests — are unchanged.
+        return (lo + rng.integers(lengths)).tolist()
 
     faults = [Fault(flop, FaultKind.SOFT, c) for c in pick_cycles(config.soft_per_flop)]
     for kind in (FaultKind.STUCK0, FaultKind.STUCK1):
@@ -205,7 +205,8 @@ def schedule_faults(flop: FlopRef, n_cycles: int, config: CampaignConfig,
 def run_campaign(config: CampaignConfig | None = None,
                  progress: bool = False, workers: int | None = 1,
                  chunk_flops: int | None = None,
-                 batch: int | None = None) -> CampaignResult:
+                 batch: int | None = None,
+                 kernel: str | None = None) -> CampaignResult:
     """Execute a campaign and return its result.
 
     Args:
@@ -222,12 +223,17 @@ def run_campaign(config: CampaignConfig | None = None,
             (:mod:`repro.faults.batch`); ``None``/``0`` runs the scalar
             engine.  Like ``workers``, an execution knob only — records
             and pruning stats are bit-identical for any value.
+        kernel: step backend for the vectorised engine — ``"cext"``,
+            ``"numpy"`` or ``"auto"``/``None`` (compiled when
+            available; see :mod:`repro.faults.kernels`).  Also purely
+            an execution knob.
     """
     from .parallel import execute_campaign
 
     config = config or CampaignConfig.default()
     return execute_campaign(config, progress=progress, workers=workers,
-                            chunk_flops=chunk_flops, batch=batch)
+                            chunk_flops=chunk_flops, batch=batch,
+                            kernel=kernel)
 
 
 def _load_cached(path: Path, config: CampaignConfig) -> CampaignResult | None:
@@ -256,14 +262,15 @@ def cached_campaign(config: CampaignConfig | None = None,
                     cache_dir: str | Path = ".campaign_cache",
                     progress: bool = False,
                     workers: int | None = 1,
-                    batch: int | None = None) -> CampaignResult:
+                    batch: int | None = None,
+                    kernel: str | None = None) -> CampaignResult:
     """Run a campaign, or load it from the on-disk cache if present.
 
     All benchmark-harness figures share one campaign run through this
     cache, keyed by the configuration hash.  The key is independent of
-    ``workers`` and ``batch`` — a result computed with any worker count
-    or engine (scalar / vectorised) is identical, so it is shared by
-    all of them.
+    ``workers``, ``batch`` and ``kernel`` — a result computed with any
+    worker count, engine (scalar / vectorised) or step backend is
+    identical, so it is shared by all of them.
     """
     config = config or CampaignConfig.default()
     path = Path(cache_dir) / f"campaign_{config.cache_key()}.pkl"
@@ -272,6 +279,6 @@ def cached_campaign(config: CampaignConfig | None = None,
         if result is not None:
             return result
     result = run_campaign(config, progress=progress, workers=workers,
-                          batch=batch)
+                          batch=batch, kernel=kernel)
     result.save(path)
     return result

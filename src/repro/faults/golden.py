@@ -211,7 +211,8 @@ class GoldenTrace:
         self.write_mask = _pack_mask_rows(write_rows, t)
         self._port_tuples: list[tuple[int, ...]] | None = ports
         self._state_hash_list: list[int] | None = None
-        self._liveness_cache: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._liveness_cache: dict[str, tuple[np.ndarray, list[int], list[int]]] = {}
+        self._active_cache: dict[tuple[str, int, int, bool], np.ndarray] = {}
         self.reindex_write_log(mem.log)
 
     # -- row access ----------------------------------------------------------
@@ -372,6 +373,7 @@ class GoldenTrace:
             trace._port_tuples = None
             trace._state_hash_list = None
             trace._liveness_cache = {}
+            trace._active_cache = {}
             trace.reindex_write_log(
                 [tuple(entry) for entry in write_log.tolist()])
             reset = Cpu(Memory(16), trace.stimulus,
@@ -510,6 +512,27 @@ class GoldenTrace:
             out[idxs[base:j]] = vals[base:j]
         return out
 
+    def _active_cycles(self, reg: str, bit: int, value: int,
+                       used_only: bool) -> np.ndarray:
+        """Sorted cycles where flop ``(reg, bit)`` differs from ``value``.
+
+        With ``used_only`` the cycles are additionally restricted to
+        the register's liveness use mask.  Cached: the campaign probes
+        the same flop with a handful of start cycles (one per scheduled
+        stuck-at fault), so one linear scan per key turns every later
+        query into a binary search.
+        """
+        key = (reg, bit, value, used_only)
+        arr = self._active_cache.get(key)
+        if arr is None:
+            col = self.state_matrix[:, REG_INDEX[reg]]
+            active = ((col >> np.uint64(bit)) & np.uint64(1)) != value
+            if used_only:
+                active &= self._liveness(reg)[0]
+            arr = np.nonzero(active)[0].astype(np.int32)
+            self._active_cache[key] = arr
+        return arr
+
     def activation_cycle(self, reg: str, bit: int, value: int, start: int) -> int | None:
         """First cycle >= ``start`` where the golden flop differs from ``value``.
 
@@ -518,16 +541,15 @@ class GoldenTrace:
         to the golden core, so simulation can start here.  Returns None
         when the fault is never activated (fully masked).
         """
-        col = self.state_matrix[start:, REG_INDEX[reg]]
-        bits = (col >> np.uint64(bit)) & np.uint64(1)
-        hits = np.nonzero(bits != value)[0]
-        if hits.size == 0:
+        hits = self._active_cycles(reg, bit, value, used_only=False)
+        i = int(np.searchsorted(hits, start))
+        if i == len(hits):
             return None
-        return start + int(hits[0])
+        return int(hits[i])
 
     # -- liveness queries -----------------------------------------------------
 
-    def _liveness(self, reg: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _liveness(self, reg: str) -> tuple[np.ndarray, list[int], list[int]]:
         """Per-cycle (use mask, use cycles, kill cycles) for ``reg``.
 
         ``use[t]`` is True when cycle ``t``'s next-state logic observes
@@ -552,7 +574,11 @@ class GoldenTrace:
             else:
                 use = reads | writes
                 kill = np.zeros(len(reads), dtype=bool)
-            entry = (use, np.nonzero(use)[0], np.nonzero(kill)[0])
+            # Plain int lists: soft_start probes these once per fault
+            # with scalar keys, where bisect beats the ~µs dispatch
+            # cost of a 0-d np.searchsorted by an order of magnitude.
+            entry = (use, np.nonzero(use)[0].tolist(),
+                     np.nonzero(kill)[0].tolist())
             self._liveness_cache[reg] = entry
         return entry
 
@@ -569,12 +595,12 @@ class GoldenTrace:
         construct.
         """
         use, use_cycles, kill_cycles = self._liveness(reg)
-        i = int(np.searchsorted(use_cycles, start))
+        i = bisect_left(use_cycles, start)
         if i == len(use_cycles):
             return None  # never observed again: masked
-        first_use = int(use_cycles[i])
-        j = int(np.searchsorted(kill_cycles, start))
-        if j < len(kill_cycles) and int(kill_cycles[j]) < first_use:
+        first_use = use_cycles[i]
+        j = bisect_left(kill_cycles, start)
+        if j < len(kill_cycles) and kill_cycles[j] < first_use:
             return None  # fully overwritten before first read: masked
         return first_use
 
@@ -589,10 +615,8 @@ class GoldenTrace:
         simulation can start at the returned cycle.  None when the
         stuck-at is never observed while active.
         """
-        use = self._liveness(reg)[0]
-        col = self.state_matrix[start:, REG_INDEX[reg]]
-        bits = (col >> np.uint64(bit)) & np.uint64(1)
-        hits = np.nonzero((bits != value) & use[start:])[0]
-        if hits.size == 0:
+        hits = self._active_cycles(reg, bit, value, used_only=True)
+        i = int(np.searchsorted(hits, start))
+        if i == len(hits):
             return None
-        return start + int(hits[0])
+        return int(hits[i])

@@ -1,0 +1,66 @@
+"""Kernel backend registry for the batch fault-injection engine.
+
+The :class:`~repro.faults.batch.BatchInjectionEngine` steps its
+structure-of-arrays lane state with one of two interchangeable
+kernels:
+
+* ``"numpy"`` — the vectorized python kernel in ``batch.py`` (~150
+  numpy dispatches per cycle; dispatch-bound below a few hundred
+  lanes, see DESIGN §5.14);
+* ``"cext"`` — the compiled fused kernel in ``_cstep`` (one C call
+  runs force / golden compare / step for *many* cycles, returning to
+  Python only on rare-path events, see DESIGN §5.15);
+* ``"auto"`` (default) — ``cext`` when the extension is importable or
+  buildable, silently ``numpy`` otherwise.
+
+Both kernels are digest-identical by construction and by test
+(tests/test_kernels.py holds them equal per cycle, matrix-for-matrix),
+so choosing a backend is purely a speed decision and the choice never
+enters campaign cache keys.  The ``REPRO_KERNEL`` environment variable
+overrides the default for processes that take no explicit argument
+(e.g. campaign pool workers inherit it).
+"""
+
+from __future__ import annotations
+
+import os
+
+KERNEL_CHOICES = ("auto", "cext", "numpy")
+KERNEL_ENV = "REPRO_KERNEL"
+
+
+def cext_module():
+    """The compiled kernel module, or None when unavailable."""
+    from . import _cstep
+    return _cstep.MODULE
+
+
+def cext_available() -> bool:
+    return cext_module() is not None
+
+
+def cext_build_error() -> str | None:
+    """Why the compiled kernel is unavailable (None when it loaded)."""
+    from . import _cstep
+    return _cstep.BUILD_ERROR
+
+
+def resolve_kernel(name: str | None = None) -> str:
+    """Resolve a kernel request to a concrete backend name.
+
+    ``None`` falls back to ``$REPRO_KERNEL``, then ``"auto"``.
+    Requesting ``"cext"`` explicitly when the extension cannot load is
+    an error (with the build failure attached) rather than a silent
+    downgrade; ``"auto"`` downgrades silently.
+    """
+    requested = name or os.environ.get(KERNEL_ENV) or "auto"
+    if requested not in KERNEL_CHOICES:
+        raise ValueError(
+            f"unknown kernel {requested!r} (choose from {KERNEL_CHOICES})")
+    if requested == "auto":
+        return "cext" if cext_available() else "numpy"
+    if requested == "cext" and not cext_available():
+        raise RuntimeError(
+            "kernel 'cext' requested but the compiled extension is "
+            f"unavailable: {cext_build_error() or 'import failed'}")
+    return requested

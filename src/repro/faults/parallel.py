@@ -152,7 +152,8 @@ def _tiered_for(benchmark: str, seed: int) -> TieredGolden:
     return tiered
 
 
-def run_shard(config, shard: Shard, batch: int | None = None) -> tuple[
+def run_shard(config, shard: Shard, batch: int | None = None,
+              kernel: str | None = None) -> tuple[
         list[ErrorRecord], dict[tuple[str, str], int], int, dict[str, int]]:
     """Execute one shard.
 
@@ -164,12 +165,14 @@ def run_shard(config, shard: Shard, batch: int | None = None) -> tuple[
     list, are identical for any sharding.
 
     ``batch`` selects the vectorised engine with that many lanes (see
-    :mod:`repro.faults.batch`); None/0 runs the scalar engine.  Records
-    and pruning stats are bit-identical either way.  The batch path
-    goes through :class:`~repro.faults.arch.TieredGolden`: scheduling
-    uses the cheap ``n_cycles`` peek and the flop-accurate trace is
-    loaded — architecturally cross-checked — only when the shard has
-    faults to simulate.
+    :mod:`repro.faults.batch`); None/0 runs the scalar engine.
+    ``kernel`` picks the batch engine's step backend (see
+    :mod:`repro.faults.kernels`); records and pruning stats are
+    bit-identical for any engine/kernel.  The batch path goes through
+    :class:`~repro.faults.arch.TieredGolden`: scheduling uses the
+    cheap ``n_cycles`` peek and the flop-accurate trace is loaded —
+    architecturally cross-checked — only when the shard has faults to
+    simulate.
     """
     from .campaign import schedule_faults
 
@@ -192,7 +195,7 @@ def run_shard(config, shard: Shard, batch: int | None = None) -> tuple[
         engine = BatchInjectionEngine(
             tiered.full, max_observe=config.max_observe,
             mask_check_stride=config.mask_check_stride,
-            prune=config.prune, batch=batch)
+            prune=config.prune, batch=batch, kernel=kernel)
         outcomes = engine.inject_all(faults)
         records = [r for r in outcomes if r is not None]
         return records, injected, n_cycles, engine.stats.as_dict()
@@ -218,16 +221,19 @@ def run_shard(config, shard: Shard, batch: int | None = None) -> tuple[
 
 def execute_campaign(config, progress: bool = False, workers: int | None = 1,
                      chunk_flops: int | None = None,
-                     batch: int | None = None):
+                     batch: int | None = None,
+                     kernel: str | None = None):
     """Run a campaign across ``workers`` processes; merge deterministically.
 
     This is the engine behind :func:`repro.faults.run_campaign`; see
-    that wrapper for the public contract.  ``batch`` (like ``workers``
-    and ``chunk_flops``) is an execution knob, not part of the
-    configuration: it selects the vectorised engine without entering
-    the cache key, because results are bit-identical for any value.
+    that wrapper for the public contract.  ``batch`` and ``kernel``
+    (like ``workers`` and ``chunk_flops``) are execution knobs, not
+    part of the configuration: they select the vectorised engine and
+    its step backend without entering the cache key, because results
+    are bit-identical for any value.
     """
     from .campaign import CampaignResult, sample_flops
+    from .kernels import resolve_kernel
 
     workers = resolve_workers(workers)
     flops = sample_flops(config, sampling_rng(config.seed))
@@ -256,9 +262,14 @@ def execute_campaign(config, progress: bool = False, workers: int | None = 1,
         for key, count in outcome[3].items():
             pruning[key] = pruning.get(key, 0) + count
 
+    # Resolve the kernel once on the controller: an explicit "cext"
+    # request fails fast here (with the build error) instead of inside
+    # N pool workers, and the resolved name lands in result meta.
+    resolved_kernel = resolve_kernel(kernel) if batch else None
+
     if workers == 1 or len(shards) == 1:
         for i, shard in enumerate(shards):
-            outcome = run_shard(config, shard, batch)
+            outcome = run_shard(config, shard, batch, resolved_kernel)
             outcomes[shard.order_key] = outcome
             _absorb(outcome)
             if progress:
@@ -266,7 +277,8 @@ def execute_campaign(config, progress: bool = False, workers: int | None = 1,
                                 pruning)
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {pool.submit(run_shard, config, shard, batch): shard
+            pending = {pool.submit(run_shard, config, shard, batch,
+                                   resolved_kernel): shard
                        for shard in shards}
             done_count = 0
             while pending:
@@ -299,7 +311,8 @@ def execute_campaign(config, progress: bool = False, workers: int | None = 1,
         sampled_flops=sampled,
         wall_seconds=time.perf_counter() - start,
         meta={"workers": workers, "n_shards": len(shards),
-              "chunk_flops": chunk, "batch": batch, "pruning": pruning},
+              "chunk_flops": chunk, "batch": batch,
+              "kernel": resolved_kernel, "pruning": pruning},
     )
 
 

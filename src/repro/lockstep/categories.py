@@ -23,6 +23,7 @@ tuples and only a divergence pays for the expansion.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..cpu.core import NUM_PORTS, NUM_SCS
 
@@ -169,14 +170,42 @@ def expand_ports(ports: tuple[int, ...]) -> tuple[int, ...]:
     )
 
 
+#: Compact-entry -> (first SC index, bits per SC, SC count), derived
+#: from PORT_FIELDS: every entry expands into a contiguous run of
+#: little-endian ``split``-bit signal categories.
+_FIELD_SC_RUNS: tuple[tuple[int, int, int], ...] = tuple(
+    (base, f.split, f.n_scs)
+    for base, f in zip(
+        [sum(g.n_scs for g in PORT_FIELDS[:k]) for k in range(NUM_PORTS)],
+        PORT_FIELDS)
+)
+
+
+@lru_cache(maxsize=1 << 16)
 def diverged_ports(ports_a: tuple[int, ...], ports_b: tuple[int, ...]) -> frozenset[int]:
     """Diverged SC set of two *compact* port tuples.
 
-    Equivalent to ``diverged_set(expand_ports(a), expand_ports(b))`` —
-    the lazy-expansion entry point the injection engine and checkers
-    use at the detection event.
+    Equivalent to ``diverged_set(expand_ports(a), expand_ports(b))``
+    (tested property) — the lazy-expansion entry point the injection
+    engine and checkers use at the detection event.  Entries that
+    compare equal are skipped without expansion: a detection typically
+    differs in one or two of the 18 compact entries, so only their SC
+    runs are field-tested (via XOR — a ``split``-bit field diverges iff
+    its XOR field is nonzero).  Memoized: a campaign detects the same
+    handful of divergence patterns thousands of times, and the result
+    is an immutable frozenset, safe to share.
     """
-    return diverged_set(expand_ports(ports_a), expand_ports(ports_b))
+    diverged = []
+    for (a, b), (base, split, n_scs) in zip(
+            zip(ports_a, ports_b), _FIELD_SC_RUNS):
+        delta = a ^ b
+        if not delta:
+            continue
+        mask = (1 << split) - 1
+        for j in range(n_scs):
+            if (delta >> (j * split)) & mask:
+                diverged.append(base + j)
+    return frozenset(diverged)
 
 
 def diverged_set(outputs_a: tuple[int, ...], outputs_b: tuple[int, ...]) -> frozenset[int]:

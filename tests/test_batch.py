@@ -13,10 +13,13 @@ import random
 import pytest
 
 from repro.cli import main as cli_main
+from repro.cpu.units import REGISTRY, FlopRef
 from repro.faults import (
     BatchInjectionEngine,
     CampaignConfig,
     CampaignResult,
+    Fault,
+    FaultKind,
     InjectionEngine,
     run_campaign,
     sample_flops,
@@ -93,6 +96,43 @@ def test_unpruned_parity(ttsprk_golden):
     _assert_engine_parity(ttsprk_golden, faults, cfg, prune=False, batch=8)
 
 
+# -- dynamic equivalence collapsing ------------------------------------------
+
+def test_equivalence_collapse_fires(ttsprk_golden):
+    """Two soft faults on one (reg, bit) deferring to the same
+    soft_start collapse into a single simulation, in both engines.
+
+    Campaign-level quick-config runs always report ``equiv_hits: 0``
+    — not a bug: ``soft_per_flop=1`` gives every (reg, bit) exactly
+    one soft fault, so the class key (reg, bit, start) cannot collide
+    (DESIGN §5.15).  This pins the mechanism itself alive with a
+    constructed pair.
+    """
+    golden = ttsprk_golden
+    pair = None
+    for spec in REGISTRY:
+        for t in range(0, golden.n_cycles - 2, 11):
+            s1 = golden.soft_start(spec.name, t)
+            if s1 is not None and golden.soft_start(spec.name, t + 1) == s1:
+                pair = (spec.name, t)
+                break
+        if pair:
+            break
+    assert pair is not None, "no collapsible soft pair in the golden trace"
+    reg, t = pair
+    faults = [Fault(FlopRef(reg, 0), FaultKind.SOFT, t),
+              Fault(FlopRef(reg, 0), FaultKind.SOFT, t + 1)]
+
+    scalar = InjectionEngine(golden)
+    expected = [scalar.inject(f) for f in faults]
+    assert scalar.stats.equiv_hits == 1  # second fault replayed, not re-run
+    for batch in (1, 4):
+        engine = BatchInjectionEngine(golden, batch=batch)
+        assert engine.inject_all(faults) == expected
+        assert engine.stats.as_dict() == scalar.stats.as_dict()
+        assert engine.stats.equiv_hits == 1
+
+
 # -- lane compaction ---------------------------------------------------------
 
 def test_lane_compaction(ttsprk_golden):
@@ -129,6 +169,57 @@ def test_lane_compaction(ttsprk_golden):
     assert engine.is_hard[:2].tolist() == [False, False]
     assert engine.seq[:2].tolist() == [0, 2]
     assert engine.info[:2] == ["lane0", "lane2"]
+
+
+def test_seed_many_matches_scalar_seed(ttsprk_golden):
+    """Bulk lane seeding reproduces the scalar reference lane-for-lane."""
+    from collections import deque
+
+    import numpy as np
+
+    golden = ttsprk_golden
+    kinds = (FaultKind.SOFT, FaultKind.STUCK0, FaultKind.STUCK1)
+    specs = []
+    for seq in range(20):
+        spec = REGISTRY[(seq * 5) % len(REGISTRY)]
+        kind = kinds[seq % 3]
+        bit = (seq * 3) % spec.width
+        start = 5 + 7 * seq
+        fault = Fault(FlopRef(spec.name, bit), kind, start)
+        end = min(golden.n_cycles, start + 300)
+        key = (spec.name, bit, start) if kind is FaultKind.SOFT else None
+        specs.append((seq, fault, start, end, key))
+
+    scalar = BatchInjectionEngine(golden, batch=32)
+    for s in specs:
+        scalar._seed(s)
+    bulk = BatchInjectionEngine(golden, batch=32)
+    bulk._seed_many(deque(specs))
+
+    assert scalar._n == bulk._n == len(specs)
+    np.testing.assert_array_equal(scalar.S, bulk.S)
+    np.testing.assert_array_equal(scalar.M, bulk.M)
+    for name in ("t", "end", "start", "next_chk", "chk_iv", "seq",
+                 "force_row", "force_and", "force_or", "is_hard"):
+        np.testing.assert_array_equal(
+            getattr(scalar, name), getattr(bulk, name), err_msg=name)
+    assert scalar.info == bulk.info
+
+
+def test_seed_many_respects_batch_room(ttsprk_golden):
+    """Refill takes exactly ``batch - n`` specs, leaving the rest queued."""
+    from collections import deque
+
+    golden = ttsprk_golden
+    specs = deque(
+        (seq, Fault(FlopRef("pc", seq % 32), FaultKind.SOFT, 10 + seq),
+         10 + seq, golden.n_cycles, None)
+        for seq in range(10))
+    engine = BatchInjectionEngine(golden, batch=4)
+    engine._seed_many(specs)
+    assert engine._n == 4
+    assert len(specs) == 6
+    assert specs[0][0] == 4  # queue order preserved
 
 
 def test_compact_last_lane_only():

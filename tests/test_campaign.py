@@ -91,6 +91,52 @@ class TestSchedule:
                                  np.random.default_rng(0))
         assert all(0 <= f.cycle < 10 for f in faults)
 
+    def test_vectorised_draws_match_scalar_stream(self):
+        """The property ``pick_cycles`` relies on: a single vectorised
+        ``integers(highs)`` draw consumes the Generator bitstream
+        element-for-element like the equivalent scalar call sequence,
+        so the vectorised scheduler reproduces historical schedules."""
+        for trial in range(8):
+            highs = np.random.default_rng(100 + trial).integers(
+                1, 23, size=64)
+            scalar_rng = np.random.default_rng(trial)
+            scalar = [int(scalar_rng.integers(int(h))) for h in highs]
+            vector_rng = np.random.default_rng(trial)
+            assert vector_rng.integers(highs).tolist() == scalar
+
+    def test_schedule_matches_scalar_reference(self):
+        """Pin the vectorised scheduler to the pre-vectorisation scalar
+        algorithm (interval-by-interval draws) on mixed-length interval
+        grids — schedules are part of the campaign digest contract."""
+        cfg = CampaignConfig(soft_per_flop=16, hard_per_flop=2)
+
+        def scalar_reference(n_cycles, rng):
+            n_intervals = max(1, min(cfg.intervals, n_cycles))
+            base, extra = divmod(n_cycles, n_intervals)
+
+            def pick(count):
+                count = min(count, n_intervals)
+                out = []
+                for iv in rng.choice(n_intervals, size=count,
+                                     replace=False):
+                    iv = int(iv)
+                    lo = iv * base + min(iv, extra)
+                    out.append(lo + int(rng.integers(
+                        base + (1 if iv < extra else 0))))
+                return out
+
+            cycles = pick(cfg.soft_per_flop)
+            cycles += pick(cfg.hard_per_flop) + pick(cfg.hard_per_flop)
+            return cycles
+
+        for n_cycles in (10, 63, 64, 65, 999, 1414):
+            for seed in range(10):
+                faults = schedule_faults(FlopRef("pc", 0), n_cycles, cfg,
+                                         np.random.default_rng(seed))
+                expected = scalar_reference(n_cycles,
+                                            np.random.default_rng(seed))
+                assert [f.cycle for f in faults] == expected
+
 
 class TestCampaignRun:
     def test_quick_campaign_manifests_errors(self, quick_campaign):

@@ -1,0 +1,204 @@
+"""Kernel backend registry and compiled-kernel parity.
+
+Two layers of guarantee around the C extension:
+
+* **registry semantics** — ``auto`` silently downgrades, explicit
+  ``cext`` fails loudly, ``REPRO_KERNEL`` steers defaults, and every
+  backend produces byte-identical campaign results;
+* **per-cycle state parity** — stronger than digest equality: a mirror
+  engine steps the numpy and C kernels side by side on real fault
+  workloads and holds the *entire* SoA state and memory matrices equal
+  after every cycle, so a kernel bug cannot hide behind digest
+  collisions or late masking.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    BatchInjectionEngine,
+    CampaignConfig,
+    InjectionEngine,
+    KERNEL_CHOICES,
+    cext_available,
+    resolve_kernel,
+    run_campaign,
+    sample_flops,
+    schedule_faults,
+)
+from repro.faults import _cstep, kernels
+from repro.faults.batch import _cext_tables
+from repro.faults.parallel import sampling_rng, schedule_rng
+
+QUICK = CampaignConfig.quick()
+
+needs_cext = pytest.mark.skipif(
+    not cext_available(),
+    reason=f"compiled kernel unavailable: {kernels.cext_build_error()}")
+
+
+# -- registry ----------------------------------------------------------------
+
+def test_kernel_choices_stable():
+    assert KERNEL_CHOICES == ("auto", "cext", "numpy")
+
+
+def test_resolve_auto_picks_a_backend():
+    assert resolve_kernel("auto") == (
+        "cext" if cext_available() else "numpy")
+    assert resolve_kernel(None) == resolve_kernel("auto")
+
+
+def test_resolve_numpy_always_works():
+    assert resolve_kernel("numpy") == "numpy"
+
+
+def test_resolve_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown kernel"):
+        resolve_kernel("fortran")
+
+
+def test_env_var_steers_default(monkeypatch):
+    monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
+    assert resolve_kernel(None) == "numpy"
+    # An explicit argument wins over the environment.
+    assert resolve_kernel("auto") == (
+        "cext" if cext_available() else "numpy")
+
+
+def test_explicit_cext_fails_loudly_when_unavailable(monkeypatch):
+    monkeypatch.setattr(_cstep, "MODULE", None)
+    monkeypatch.setattr(_cstep, "BUILD_ERROR", "no compiler on this host")
+    assert resolve_kernel("auto") == "numpy"  # silent downgrade
+    with pytest.raises(RuntimeError, match="no compiler on this host"):
+        resolve_kernel("cext")
+
+
+def test_engine_records_resolved_kernel(ttsprk_golden):
+    engine = BatchInjectionEngine(ttsprk_golden, kernel="numpy")
+    assert engine.kernel == "numpy"
+    assert engine._cext is None
+    auto = BatchInjectionEngine(ttsprk_golden)
+    assert auto.kernel == ("cext" if cext_available() else "numpy")
+
+
+# -- per-cycle SoA parity (stronger than digest) ------------------------------
+
+class _MirrorEngine(BatchInjectionEngine):
+    """numpy-kernel engine that replays every step through the C kernel.
+
+    After each vectorized ``_step`` the C ``step`` runs on a snapshot
+    of the pre-step state; the two resulting (state, memory) matrices
+    must agree in every lane, every row, every cycle.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, kernel="numpy", **kwargs)
+        self._mod = kernels.cext_module()
+        self._ctables = _cext_tables()
+        self.steps_checked = 0
+
+    def _step(self, n: int) -> None:
+        S2 = self.S.copy()
+        M2 = self.M.copy()
+        super()._step(n)
+        self._mod.step(S2, M2, self._stim, self._ctables, n)
+        np.testing.assert_array_equal(
+            S2[:, :n], self.S[:, :n],
+            err_msg=f"C step diverged from numpy step ({n} lanes)")
+        np.testing.assert_array_equal(
+            M2[:n], self.M[:n],
+            err_msg=f"C step diverged from numpy step memory ({n} lanes)")
+        self.steps_checked += 1
+
+
+def _shard_faults(golden, flop_idxs, cfg):
+    flops = sample_flops(cfg, sampling_rng(cfg.seed))
+    faults = []
+    for idx in flop_idxs:
+        faults.extend(schedule_faults(
+            flops[idx], golden.n_cycles, cfg,
+            schedule_rng(cfg.seed, 0, idx)))
+    return faults
+
+
+@needs_cext
+@pytest.mark.parametrize("trial,batch", ((0, 8), (1, 32)))
+def test_per_cycle_state_parity(ttsprk_golden, trial, batch):
+    """Full SoA matrix equality between kernels, every cycle, on a
+    random shard of real faults (tail_lanes=0: no scalar drain)."""
+    cfg = QUICK
+    n_flops = len(sample_flops(cfg, sampling_rng(cfg.seed)))
+    rnd = random.Random(5150 + trial)
+    idxs = sorted(rnd.sample(range(n_flops), k=min(8, n_flops)))
+    faults = _shard_faults(ttsprk_golden, idxs, cfg)
+    assert faults
+    engine = _MirrorEngine(ttsprk_golden, max_observe=cfg.max_observe,
+                           mask_check_stride=cfg.mask_check_stride,
+                           batch=batch, tail_lanes=0)
+    engine.inject_all(faults)
+    assert engine.steps_checked > 0  # the mirror actually ran
+
+
+# -- engine-level parity through the fused drive loop ------------------------
+
+def _assert_cext_parity(golden, faults, cfg, prune=True, **batch_kwargs):
+    scalar = InjectionEngine(golden, max_observe=cfg.max_observe,
+                             mask_check_stride=cfg.mask_check_stride,
+                             prune=prune)
+    expected = [scalar.inject(f) for f in faults]
+    engine = BatchInjectionEngine(golden, max_observe=cfg.max_observe,
+                                  mask_check_stride=cfg.mask_check_stride,
+                                  prune=prune, kernel="cext", **batch_kwargs)
+    assert engine.inject_all(faults) == expected
+    assert engine.stats.as_dict() == scalar.stats.as_dict()
+
+
+@needs_cext
+@pytest.mark.parametrize("trial,batch", ((0, 3), (1, 17), (2, 128)))
+def test_cext_random_shard_parity(ttsprk_golden, trial, batch):
+    """Records + PruneStats parity scalar vs cext on random shards."""
+    cfg = QUICK
+    n_flops = len(sample_flops(cfg, sampling_rng(cfg.seed)))
+    rnd = random.Random(20180615 + trial)  # same shards as test_batch
+    idxs = sorted(rnd.sample(range(n_flops), k=min(12, n_flops)))
+    faults = _shard_faults(ttsprk_golden, idxs, cfg)
+    assert faults
+    _assert_cext_parity(ttsprk_golden, faults, cfg, batch=batch)
+
+
+@needs_cext
+def test_cext_with_scalar_drain_parity(ttsprk_golden):
+    """A nonzero tail_lanes hands stragglers to the scalar drain even
+    under the C kernel; the handoff must stay digest-neutral."""
+    cfg = QUICK
+    faults = _shard_faults(ttsprk_golden, range(10), cfg)
+    _assert_cext_parity(ttsprk_golden, faults, cfg, batch=16, tail_lanes=8)
+
+
+@needs_cext
+def test_cext_unpruned_parity(ttsprk_golden):
+    cfg = QUICK
+    faults = _shard_faults(ttsprk_golden, range(6), cfg)
+    _assert_cext_parity(ttsprk_golden, faults, cfg, prune=False, batch=8)
+
+
+# -- campaign-level wiring ----------------------------------------------------
+
+@needs_cext
+def test_campaign_kernel_digest_parity(quick_campaign):
+    """digest() + pruning stats identical for both kernel backends."""
+    for kernel in ("cext", "numpy"):
+        result = run_campaign(QUICK, workers=1, batch=64, kernel=kernel)
+        assert result.digest() == quick_campaign.digest()
+        assert result.meta["pruning"] == quick_campaign.meta["pruning"]
+        assert result.meta["kernel"] == kernel
+
+
+def test_campaign_meta_kernel_none_for_scalar(quick_campaign):
+    """The scalar engine has no step kernel; meta records that."""
+    assert quick_campaign.meta.get("kernel") is None
