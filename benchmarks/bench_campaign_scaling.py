@@ -22,7 +22,6 @@ trajectory is tracked across PRs instead of being overwritten.
 from __future__ import annotations
 
 import dataclasses
-import json
 import os
 import random
 import time
@@ -42,31 +41,14 @@ def append_bench_entry(kind: str, payload: dict,
                        path: Path = ROOT_BENCH_JSON) -> dict:
     """Append one timestamped entry to the root trajectory artifact.
 
-    The file is ``{"schema": 2, "entries": [...]}``; a legacy
-    single-payload file (schema 1 wrote one pruning dict and overwrote
-    it each run) is absorbed as the first entry so history survives the
-    format change.  Returns the entry written.
+    Delegates to :mod:`repro.benchlog`, the shared guarded reader /
+    writer for the mixed-schema history file (legacy schema-1
+    single-payload files are absorbed as the first entry so history
+    survives the format change).  Returns the entry written.
     """
-    entries: list[dict] = []
-    if path.exists():
-        try:
-            old = json.loads(path.read_text())
-        except ValueError:
-            old = None
-        if isinstance(old, dict):
-            if isinstance(old.get("entries"), list):
-                entries = old["entries"]
-            elif old:  # legacy schema-1 payload
-                entries = [{"kind": "pruning", "timestamp": None, **old}]
-    entry = {
-        "kind": kind,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        **payload,
-    }
-    entries.append(entry)
-    path.write_text(
-        json.dumps({"schema": 2, "entries": entries}, indent=2) + "\n")
-    return entry
+    from repro.benchlog import append_entry
+
+    return append_entry(path, kind, payload)
 
 #: A campaign sized so one measurement run is seconds, not minutes:
 #: two benchmarks at a moderate sampling fraction.

@@ -2,7 +2,13 @@
 
 Commands:
 
-* ``campaign``  — run (or load) a fault-injection campaign; print Table I.
+* ``campaign``  — run (or load) a fault-injection campaign; print Table I;
+  ``--resume`` runs through the durable ledger so a killed run restarts
+  where it stopped, bit-identical to an uninterrupted run.
+* ``serve``     — campaign-as-a-service: shard leasing for remote
+  workers plus low-latency DSR -> (type, unit, Top-K SBIST) prediction
+  lookups over an asyncio HTTP API (503 + Retry-After while training).
+* ``work``      — lease-execute-commit worker loop against a server.
 * ``evaluate``  — cross-validated evaluation; print Figure 11/14 and
   Table III (``--fine`` for the 13-unit organisation, ``--top-k`` to
   truncate predictions, ``--off-chip`` for DRAM table placement).
@@ -45,11 +51,22 @@ _SCALES = {
 }
 
 
-def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
+def _add_campaign_args(parser: argparse.ArgumentParser,
+                       resumable: bool = False) -> None:
     parser.add_argument("--scale", choices=sorted(_SCALES), default="default",
                         help="campaign size preset")
     parser.add_argument("--cache", default=".campaign_cache",
                         help="campaign cache directory")
+    if resumable:
+        parser.add_argument("--resume", action="store_true",
+                            help="run through the durable campaign ledger: "
+                                 "a killed run restarted with the same "
+                                 "arguments continues from its committed "
+                                 "shards, with a digest bit-identical to an "
+                                 "uninterrupted run")
+        parser.add_argument("--ledger", default=".campaign_ledger",
+                            metavar="DIR",
+                            help="ledger root directory (with --resume)")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="worker processes for the injection campaign "
                              "(0 = all cores); results are identical for "
@@ -72,10 +89,22 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
                              "any backend")
 
 
-def _load_campaign(args: argparse.Namespace):
+def _cli_config(args: argparse.Namespace) -> CampaignConfig:
     config = _SCALES[args.scale]()
     if getattr(args, "no_prune", False):
         config = dataclasses.replace(config, prune=False)
+    return config
+
+
+def _load_campaign(args: argparse.Namespace):
+    config = _cli_config(args)
+    if getattr(args, "resume", False):
+        from .faults.service import run_resumable_campaign
+
+        return run_resumable_campaign(
+            config, ledger_dir=args.ledger, progress=True,
+            workers=args.workers, batch=getattr(args, "batch", None),
+            kernel=getattr(args, "kernel", None))
     return cached_campaign(config, cache_dir=args.cache,
                            progress=True, workers=args.workers,
                            batch=getattr(args, "batch", None),
@@ -84,6 +113,9 @@ def _load_campaign(args: argparse.Namespace):
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     campaign = _load_campaign(args)
+    if campaign.meta.get("resumed_shards"):
+        print(f"resumed: {campaign.meta['resumed_shards']}/"
+              f"{campaign.meta['n_shards']} shards were already committed")
     print(render_table1(campaign))
     pruning = campaign.meta.get("pruning")
     if pruning and not campaign.config.prune:
@@ -228,6 +260,30 @@ def cmd_mutate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .faults.service import CampaignLedger, CampaignService
+    from .faults.service.http import serve_forever
+
+    config = _cli_config(args)
+    ledger = CampaignLedger(args.ledger, config,
+                            chunk_flops=args.chunk_flops)
+    service = CampaignService(ledger, fine=args.fine, top_k=args.top_k,
+                              lease_ttl=args.lease_ttl)
+    serve_forever(service, args.host, args.port)
+    return 0
+
+
+def cmd_work(args: argparse.Namespace) -> int:
+    from .faults.service import run_worker
+
+    done = run_worker(args.url, worker_id=args.worker,
+                      batch=args.batch, kernel=args.kernel,
+                      ttl=args.ttl, max_shards=args.max_shards or None,
+                      progress=True)
+    print(f"worker {args.worker}: committed {done} shard(s)")
+    return 0
+
+
 def cmd_disasm(args: argparse.Namespace) -> int:
     from .cpu.assembler import assemble
     from .cpu.disassembler import disassemble
@@ -252,7 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("campaign", help="run/load a fault-injection campaign")
-    _add_campaign_args(p)
+    _add_campaign_args(p, resumable=True)
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("evaluate", help="cross-validated LERT evaluation")
@@ -322,6 +378,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="BENCH_mutation.json", metavar="FILE",
                    help="detection-strength report path ('' to skip)")
     p.set_defaults(func=cmd_mutate)
+
+    p = sub.add_parser(
+        "serve", help="serve a campaign ledger + prediction table over HTTP")
+    p.add_argument("--scale", choices=sorted(_SCALES), default="default",
+                   help="campaign size preset the ledger is keyed by")
+    p.add_argument("--ledger", default=".campaign_ledger", metavar="DIR",
+                   help="ledger root directory")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8322,
+                   help="listen port (0 = ephemeral)")
+    p.add_argument("--chunk-flops", type=int, default=None, metavar="N",
+                   help="flops per shard when creating a fresh ledger "
+                        "(an existing ledger's plan always wins)")
+    p.add_argument("--lease-ttl", type=float, default=60.0, metavar="S",
+                   help="seconds before an uncommitted shard lease is "
+                        "reclaimed from a dead worker")
+    p.add_argument("--fine", action="store_true",
+                   help="serve the 13-unit prediction table")
+    p.add_argument("--top-k", type=int, default=None,
+                   help="truncate served predictions to the top K units")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "work", help="lease-execute-commit worker loop against a server")
+    p.add_argument("--url", required=True, metavar="URL",
+                   help="campaign service base URL (http://host:port)")
+    p.add_argument("--worker", default="worker", metavar="ID",
+                   help="worker identity reported in leases")
+    p.add_argument("--batch", type=int, default=None, metavar="N",
+                   help="vectorised-engine lane count (as in campaign)")
+    p.add_argument("--kernel", choices=KERNEL_CHOICES, default=None,
+                   help="step backend for the vectorised engine")
+    p.add_argument("--ttl", type=float, default=None, metavar="S",
+                   help="requested lease TTL per shard")
+    p.add_argument("--max-shards", type=int, default=0, metavar="K",
+                   help="stop after K commits (0 = run to completion)")
+    p.set_defaults(func=cmd_work)
 
     p = sub.add_parser("disasm", help="disassemble a workload kernel")
     p.add_argument("kernel", choices=sorted(KERNELS))

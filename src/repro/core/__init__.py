@@ -22,11 +22,14 @@ from .signatures import DivergedSet, SignatureStats
 from .table import (
     OFF_CHIP_ACCESS_CYCLES,
     ON_CHIP_ACCESS_CYCLES,
+    TABLE_PAYLOAD_SCHEMA,
     AddressMapper,
     PredictionTable,
     TableEntry,
     build_default_entry,
     rank_units,
+    table_from_payload,
+    table_to_payload,
     type_bit,
 )
 
@@ -38,6 +41,8 @@ __all__ = [
     "default_unit_order", "location_accuracy", "train_predictor", "type_accuracy",
     "DivergedSet", "SignatureStats",
     "OFF_CHIP_ACCESS_CYCLES", "ON_CHIP_ACCESS_CYCLES",
+    "TABLE_PAYLOAD_SCHEMA",
     "AddressMapper", "PredictionTable", "TableEntry",
-    "build_default_entry", "rank_units", "type_bit",
+    "build_default_entry", "rank_units",
+    "table_from_payload", "table_to_payload", "type_bit",
 ]

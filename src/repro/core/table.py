@@ -122,6 +122,59 @@ class PredictionTable:
         return clone
 
 
+#: Table wire-payload schema tag (bump on incompatible shape changes).
+TABLE_PAYLOAD_SCHEMA = 1
+
+
+def table_to_payload(table: PredictionTable, fine: bool) -> dict:
+    """Serialise a trained table into a JSON-able payload.
+
+    The payload carries the address mapping (diverged SC sets in PTAR
+    order) alongside the entries, so a client can rebuild the complete
+    lookup structure — the campaign service ships this from ``GET
+    /table`` to fleet clients that want local lookups.
+    """
+    keys = sorted(table.mapper._index, key=table.mapper.map)
+    return {
+        "schema": TABLE_PAYLOAD_SCHEMA,
+        "fine": bool(fine),
+        "n_units": table.n_units,
+        "access_cycles": table.access_cycles,
+        "entries": [
+            {"dsr": sorted(key),
+             "units": list(entry.units),
+             "hard": entry.predict_hard}
+            for key, entry in zip(keys, table.entries)
+        ],
+        "default": {"units": list(table.default_entry.units),
+                    "hard": table.default_entry.predict_hard},
+    }
+
+
+def table_from_payload(payload: dict) -> tuple[PredictionTable, bool]:
+    """Rebuild ``(table, fine)`` from :func:`table_to_payload` output.
+
+    Round-trips exactly: lookups (including the default fall-through
+    for unobserved DSR values) match the original table entry for
+    entry, which is what lets an HTTP-served table answer identically
+    to one trained offline.
+    """
+    if payload.get("schema") != TABLE_PAYLOAD_SCHEMA:
+        raise ValueError(
+            f"unsupported table payload schema {payload.get('schema')!r} "
+            f"(expected {TABLE_PAYLOAD_SCHEMA})")
+    entries = [
+        (frozenset(int(sc) for sc in row["dsr"]),
+         TableEntry(units=tuple(row["units"]), predict_hard=bool(row["hard"])))
+        for row in payload["entries"]
+    ]
+    default = TableEntry(units=tuple(payload["default"]["units"]),
+                         predict_hard=bool(payload["default"]["hard"]))
+    table = PredictionTable(entries, default, n_units=int(payload["n_units"]),
+                            access_cycles=int(payload["access_cycles"]))
+    return table, bool(payload["fine"])
+
+
 def rank_units(scores: dict[str, float], default_order: tuple[str, ...],
                top_k: int | None) -> tuple[str, ...]:
     """Rank units by descending score; complete with the default order.

@@ -1,0 +1,131 @@
+"""Incremental campaign-result merging.
+
+``execute_campaign`` holds every shard's record list in memory and
+concatenates at the end; at the 10M-injection scale that is the wrong
+shape for a long-lived service.  :class:`IncrementalResultStore`
+absorbs committed shard outcomes *as they land, in any order*, keeping
+only running aggregates (injected counts, pruning sums, golden cycles,
+error totals) plus the per-shard record lists it was explicitly asked
+to retain.  The merge is commutative and associative — any commit
+permutation yields the identical :class:`CampaignResult` and digest
+(property-tested in ``tests/test_service.py``) — because assembly
+sorts by the shard order key, exactly like the parallel engine's
+deterministic merge.
+
+When backed by a :class:`~.ledger.CampaignLedger` the store drops
+record lists entirely and streams them from the committed shard files
+at finalisation, so server memory stays flat while a campaign runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..campaign import CampaignConfig, CampaignResult
+from ..models import ErrorRecord
+
+
+class IncrementalResultStore:
+    """Merge shard outcomes incrementally into a campaign result.
+
+    Args:
+        config: the campaign the outcomes belong to.
+        keep_records: retain record lists in memory (the default, for
+            in-process runs).  ``False`` keeps aggregates only; callers
+            then stream records from their ledger for finalisation.
+    """
+
+    def __init__(self, config: CampaignConfig, keep_records: bool = True):
+        self.config = config
+        self.keep_records = keep_records
+        self._records: dict[int, list[ErrorRecord]] = {}
+        self._seen: set[int] = set()
+        self.injected: dict[tuple[str, str], int] = {}
+        self.pruning: dict[str, int] = {}
+        #: benchmark -> golden run length (same value from every shard
+        #: of that benchmark, so last-writer-wins merging is exact).
+        self.golden_cycles: dict[str, int] = {}
+        self.n_errors = 0
+
+    @property
+    def n_shards_merged(self) -> int:
+        return len(self._seen)
+
+    def add(self, shard_id: int, benchmark: str, outcome: tuple) -> bool:
+        """Fold one shard outcome in; returns False on duplicate.
+
+        ``outcome`` is the ``run_shard`` tuple ``(records, injected,
+        n_cycles, pruning)``.  Duplicate shard ids are ignored rather
+        than double-counted, so replaying a ledger into a live store is
+        harmless.
+        """
+        if shard_id in self._seen:
+            return False
+        self._seen.add(shard_id)
+        records, injected, n_cycles, pruning = outcome
+        self.n_errors += len(records)
+        if self.keep_records:
+            self._records[shard_id] = list(records)
+        for key, count in injected.items():
+            self.injected[key] = self.injected.get(key, 0) + count
+        for key, count in (pruning or {}).items():
+            self.pruning[key] = self.pruning.get(key, 0) + count
+        self.golden_cycles[benchmark] = int(n_cycles)
+        return True
+
+    def iter_records(self):
+        """Yield merged records in the canonical (shard id) order."""
+        for shard_id in sorted(self._records):
+            yield from self._records[shard_id]
+
+    def result(self, wall_seconds: float = 0.0,
+               meta: dict | None = None) -> CampaignResult:
+        """Assemble the merged :class:`CampaignResult`.
+
+        Requires ``keep_records=True``; ledger-backed callers use
+        :func:`result_from_ledger` instead.
+        """
+        if not self.keep_records:
+            raise RuntimeError(
+                "store was built with keep_records=False; assemble via "
+                "result_from_ledger")
+        return CampaignResult(
+            config=self.config,
+            records=list(self.iter_records()),
+            injected=dict(self.injected),
+            golden_cycles=dict(self.golden_cycles),
+            sampled_flops=sampled_flop_counts(self.config),
+            wall_seconds=wall_seconds,
+            meta={**{"pruning": dict(self.pruning)}, **(meta or {})},
+        )
+
+
+def sampled_flop_counts(config: CampaignConfig) -> dict[str, int]:
+    """Per-unit sampled-flop counts, recomputed from the config.
+
+    Deterministic (keyed sampling stream), so a resumed campaign
+    reports the same counts as an uninterrupted one without persisting
+    them.
+    """
+    from ..campaign import sample_flops
+    from ..parallel import sampling_rng
+
+    counts: dict[str, int] = {}
+    for flop in sample_flops(config, sampling_rng(config.seed)):
+        counts[flop.unit] = counts.get(flop.unit, 0) + 1
+    return counts
+
+
+def streaming_digest(records_iter) -> str:
+    """The campaign record digest, computed from a record stream.
+
+    Byte-identical to :func:`repro.faults.campaign.records_digest`
+    without materialising the list — the server computes a finished
+    campaign's digest straight off the ledger files.
+    """
+    h = hashlib.sha256()
+    for r in records_iter:
+        h.update(repr((r.benchmark, r.flop.reg, r.flop.bit, r.kind.value,
+                       r.inject_cycle, r.detect_cycle,
+                       sorted(r.diverged))).encode())
+    return h.hexdigest()

@@ -1,0 +1,127 @@
+"""JSON wire format for campaign shards, outcomes and configurations.
+
+Everything the ledger persists or the HTTP API ships is JSON built
+from these converters, so the on-disk format and the on-the-wire
+format are the same thing and round-trip tests cover both.  The format
+is deliberately explicit (no pickle): a ledger written by one library
+version is either readable or *visibly* rejected by its schema tag,
+never silently misinterpreted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from ...cpu.units import FlopRef
+from ..campaign import CampaignConfig
+from ..models import ErrorRecord, FaultKind
+from ..parallel import Shard
+
+#: Bump when any wire payload changes shape incompatibly.
+WIRE_SCHEMA = 1
+
+
+# -- error records -----------------------------------------------------------
+
+def record_to_wire(record: ErrorRecord) -> list:
+    """One error record as a compact JSON row.
+
+    A row, not an object: a full campaign carries millions of records
+    and the field names would dominate the ledger size.
+    """
+    return [record.benchmark, record.flop.reg, record.flop.bit,
+            record.kind.value, record.inject_cycle, record.detect_cycle,
+            sorted(record.diverged)]
+
+
+def record_from_wire(row: list) -> ErrorRecord:
+    """Rebuild an :class:`ErrorRecord` from its wire row."""
+    benchmark, reg, bit, kind, inject, detect, diverged = row
+    return ErrorRecord(
+        benchmark=benchmark,
+        flop=FlopRef(reg, int(bit)),
+        kind=FaultKind(kind),
+        inject_cycle=int(inject),
+        detect_cycle=int(detect),
+        diverged=frozenset(int(sc) for sc in diverged),
+    )
+
+
+# -- shard outcomes ----------------------------------------------------------
+
+def outcome_to_wire(outcome: tuple) -> dict:
+    """Serialise one ``run_shard`` outcome tuple.
+
+    ``outcome`` is ``(records, injected, n_cycles, pruning)`` exactly
+    as :func:`repro.faults.parallel.run_shard` returns it.
+    """
+    records, injected, n_cycles, pruning = outcome
+    return {
+        "schema": WIRE_SCHEMA,
+        "records": [record_to_wire(r) for r in records],
+        "injected": sorted([unit, kind, count]
+                           for (unit, kind), count in injected.items()),
+        "n_cycles": int(n_cycles),
+        "pruning": {key: int(value) for key, value in (pruning or {}).items()},
+    }
+
+
+def outcome_from_wire(payload: dict) -> tuple:
+    """Rebuild a ``run_shard`` outcome tuple from its wire form."""
+    if payload.get("schema") != WIRE_SCHEMA:
+        raise ValueError(
+            f"unsupported outcome schema {payload.get('schema')!r} "
+            f"(expected {WIRE_SCHEMA})")
+    records = [record_from_wire(row) for row in payload["records"]]
+    injected = {(unit, kind): int(count)
+                for unit, kind, count in payload["injected"]}
+    return records, injected, int(payload["n_cycles"]), dict(payload["pruning"])
+
+
+# -- shards ------------------------------------------------------------------
+
+def shard_to_wire(shard: Shard) -> dict:
+    """A shard descriptor as shipped in a lease response."""
+    return {
+        "bench_idx": shard.bench_idx,
+        "benchmark": shard.benchmark,
+        "flop_base": shard.flop_base,
+        "flops": [[flop.reg, flop.bit] for flop in shard.flops],
+    }
+
+
+def shard_from_wire(payload: dict) -> Shard:
+    """Rebuild a :class:`Shard` a remote worker can execute."""
+    return Shard(
+        bench_idx=int(payload["bench_idx"]),
+        benchmark=payload["benchmark"],
+        flop_base=int(payload["flop_base"]),
+        flops=tuple(FlopRef(reg, int(bit)) for reg, bit in payload["flops"]),
+    )
+
+
+# -- campaign configuration --------------------------------------------------
+
+def config_to_wire(config: CampaignConfig) -> dict:
+    """A campaign configuration as a plain JSON object."""
+    payload = dataclasses.asdict(config)
+    payload["benchmarks"] = list(payload["benchmarks"])
+    return payload
+
+
+def config_from_wire(payload: dict) -> CampaignConfig:
+    """Rebuild a :class:`CampaignConfig`; unknown fields are rejected.
+
+    Rejecting (rather than dropping) unknown fields means a worker
+    built from an older library version fails loudly against a newer
+    server instead of silently running a different campaign.
+    """
+    known = {f.name for f in dataclasses.fields(CampaignConfig)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(f"unknown campaign config fields: {sorted(unknown)}")
+    kwargs: dict[str, Any] = dict(payload)
+    if "benchmarks" in kwargs:
+        kwargs["benchmarks"] = tuple(kwargs["benchmarks"])
+    return CampaignConfig(**kwargs)
