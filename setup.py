@@ -8,8 +8,15 @@ install completes with the pure-numpy kernel as the runtime fallback
 (``PYTHONPATH=src``) doesn't need this file at all: the ``_cstep``
 package auto-builds into a user cache with the system cc on first use.
 """
+import sys
+
 from setuptools import Extension, setup
 from setuptools.command.build_ext import build_ext
+
+# The drive loop dispatches lane slices to a persistent pthread pool;
+# -pthread must reach both the compile and the link step (MSVC's CRT
+# is always thread-capable, so Windows needs no flag).
+_THREAD_FLAGS = [] if sys.platform == "win32" else ["-pthread"]
 
 
 class optional_build_ext(build_ext):
@@ -38,6 +45,8 @@ setup(
         Extension(
             "repro.faults._cstep._cstep",
             sources=["src/repro/faults/_cstep/_cstepmodule.c"],
+            extra_compile_args=_THREAD_FLAGS,
+            extra_link_args=_THREAD_FLAGS,
             optional=True,
         ),
     ],

@@ -41,7 +41,8 @@ from .analysis.reports import (
     render_table3,
     render_table4,
 )
-from .faults import KERNEL_CHOICES, CampaignConfig, cached_campaign
+from .faults import (EXECUTOR_CHOICES, KERNEL_CHOICES, CampaignConfig,
+                     cached_campaign)
 from .workloads import KERNELS, get_workload, run_kernel
 
 _SCALES = {
@@ -87,6 +88,19 @@ def _add_campaign_args(parser: argparse.ArgumentParser,
                              "'numpy', or 'auto' (default: compiled when "
                              "available); records are bit-identical for "
                              "any backend")
+    parser.add_argument("--executor", choices=EXECUTOR_CHOICES, default=None,
+                        help="shard fan-out backend with --workers > 1: "
+                             "'process' (default; pool of worker "
+                             "processes) or 'thread' (in-process workers "
+                             "sharing one golden cache — effective with "
+                             "the GIL-releasing compiled kernel); results "
+                             "are bit-identical for either")
+    parser.add_argument("--cstep-threads", type=int, default=None,
+                        metavar="N", dest="cstep_threads",
+                        help="threads for the compiled kernel's drive "
+                             "loop (default: $REPRO_CSTEP_THREADS, else "
+                             "min(cores, lanes/16)); results are "
+                             "bit-identical for any value")
 
 
 def _cli_config(args: argparse.Namespace) -> CampaignConfig:
@@ -104,11 +118,15 @@ def _load_campaign(args: argparse.Namespace):
         return run_resumable_campaign(
             config, ledger_dir=args.ledger, progress=True,
             workers=args.workers, batch=getattr(args, "batch", None),
-            kernel=getattr(args, "kernel", None))
+            kernel=getattr(args, "kernel", None),
+            executor=getattr(args, "executor", None),
+            threads=getattr(args, "cstep_threads", None))
     return cached_campaign(config, cache_dir=args.cache,
                            progress=True, workers=args.workers,
                            batch=getattr(args, "batch", None),
-                           kernel=getattr(args, "kernel", None))
+                           kernel=getattr(args, "kernel", None),
+                           executor=getattr(args, "executor", None),
+                           threads=getattr(args, "cstep_threads", None))
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
@@ -278,6 +296,7 @@ def cmd_work(args: argparse.Namespace) -> int:
 
     done = run_worker(args.url, worker_id=args.worker,
                       batch=args.batch, kernel=args.kernel,
+                      threads=args.cstep_threads,
                       ttl=args.ttl, max_shards=args.max_shards or None,
                       progress=True)
     print(f"worker {args.worker}: committed {done} shard(s)")
@@ -410,6 +429,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="vectorised-engine lane count (as in campaign)")
     p.add_argument("--kernel", choices=KERNEL_CHOICES, default=None,
                    help="step backend for the vectorised engine")
+    p.add_argument("--cstep-threads", type=int, default=None, metavar="N",
+                   dest="cstep_threads",
+                   help="compiled-kernel drive-loop threads (as in campaign)")
     p.add_argument("--ttl", type=float, default=None, metavar="S",
                    help="requested lease TTL per shard")
     p.add_argument("--max-shards", type=int, default=0, metavar="K",

@@ -23,6 +23,7 @@ the numpy kernel.  Set ``REPRO_CSTEP_BUILD=0`` to skip the auto-build
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import importlib.machinery
 import importlib.util
@@ -31,6 +32,11 @@ import subprocess
 import sys
 import sysconfig
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX: fall back to racing
+    fcntl = None  # type: ignore[assignment]
 
 #: The loaded extension module, or None when unavailable.
 MODULE = None
@@ -49,6 +55,33 @@ def _cache_dir() -> Path:
     return Path(base) / "repro_cstep"
 
 
+@contextlib.contextmanager
+def _build_lock(built: Path):
+    """Serialize the first-use compile across processes and threads.
+
+    Without this, N pool workers (or N shard threads) that import before
+    the artifact exists each spawn a full ``cc -O3`` — correct (the
+    write-temp/rename publish is atomic) but N× the latency and disk
+    churn.  An ``fcntl.flock`` on a sidecar lockfile makes one builder
+    compile while the rest block, then find the artifact published and
+    skip straight to loading.  On platforms without fcntl we keep the
+    old racy-but-correct behaviour.
+    """
+    if fcntl is None:
+        yield
+        return
+    lockfile = built.with_name(built.name + ".lock")
+    fd = os.open(lockfile, os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        # Unlock before close is implicit; the lockfile itself is left
+        # in place (unlinking it would let a late-arriving process lock
+        # a fresh inode and race the builder holding the old one).
+        os.close(fd)
+
+
 def _build() -> object:
     """Compile _cstepmodule.c with the system cc and import the result."""
     source = _SOURCE.read_bytes()
@@ -60,29 +93,37 @@ def _build() -> object:
     built = cache / f"_cstep_{tag}{suffix}"
     if not built.exists():
         cache.mkdir(parents=True, exist_ok=True)
-        cc = os.environ.get("CC", "cc")
-        include = sysconfig.get_paths()["include"]
-        tmp = built.with_name(f".{built.name}.{os.getpid()}.tmp")
-        cmd = [cc, "-O3", "-shared", "-fPIC", f"-I{include}",
-               "-o", str(tmp), str(_SOURCE)]
-        try:
-            proc = subprocess.run(
-                cmd, capture_output=True, text=True, timeout=120)
-            if proc.returncode != 0:
-                raise RuntimeError(
-                    f"{' '.join(cmd)} failed:\n{proc.stderr.strip()}")
-            # Atomic publish: concurrent pool workers racing the build
-            # each replace with an identical artifact.
-            os.replace(tmp, built)
-        finally:
-            if tmp.exists():
-                tmp.unlink()
+        with _build_lock(built):
+            if not built.exists():  # loser of the lock finds it built
+                _compile(built)
     loader = importlib.machinery.ExtensionFileLoader("_cstep", str(built))
     spec = importlib.util.spec_from_file_location(
         "_cstep", str(built), loader=loader)
     mod = importlib.util.module_from_spec(spec)
     loader.exec_module(mod)
     return mod
+
+
+def _compile(built: Path) -> None:
+    """One cc invocation publishing `built` atomically (temp + rename)."""
+    cc = os.environ.get("CC", "cc")
+    include = sysconfig.get_paths()["include"]
+    tmp = built.with_name(f".{built.name}.{os.getpid()}.tmp")
+    # -pthread on both compile and link: the drive loop dispatches lane
+    # slices to a persistent pthread worker pool.
+    cmd = [cc, "-O3", "-shared", "-fPIC", "-pthread", f"-I{include}",
+           "-o", str(tmp), str(_SOURCE)]
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=120)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"{' '.join(cmd)} failed:\n{proc.stderr.strip()}")
+        # Atomic publish: a reader never sees a half-written .so.
+        os.replace(tmp, built)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
 
 
 def _load() -> None:

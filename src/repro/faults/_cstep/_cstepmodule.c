@@ -35,8 +35,10 @@
 
 #define PY_SSIZE_T_CLEAN
 #include <Python.h>
+#include <pthread.h>
 #include <stdint.h>
 #include <string.h>
+#include <unistd.h>
 
 typedef uint32_t u32;
 
@@ -672,19 +674,308 @@ done_s:
  * the three events above; the Python phases (a)/(b)/(d) re-derive
  * which from the lane state itself and retire/fast-forward/record
  * through the same code path as the numpy kernel.
+ *
+ * Threading: drive() drops the GIL for the whole loop and, for
+ * n_threads > 1, statically partitions the lane range into contiguous
+ * slices run by a persistent process-wide pthread pool (the caller
+ * runs slice 0).  Lanes never share mutable state — S/M columns, t,
+ * check bookkeeping are all per-lane, and the golden matrices and
+ * decode tables are read-only — so the slices need no locks; each
+ * slice accumulates its own (cycles_run, diverged, error) triple and
+ * the caller sums them after the join, which keeps the return value
+ * (and every lane's parked state) bit-identical to the single-thread
+ * loop for any thread count.
  */
+
+/* Everything one drive call's slices share, all borrowed from the
+ * caller's Py_buffer views (valid for the call's lifetime). */
+typedef struct {
+    Ctx *x;
+    const u32 *sm, *pm;
+    Py_ssize_t sm_cols, sm_cycles, pm_cols, pm_cycles;
+    int64_t *t;
+    const int64_t *end;
+    int64_t *next_chk, *chk_iv;
+    const uint8_t *is_hard;
+    const int64_t *force_row;
+    const u32 *force_and, *force_or;
+    Py_ssize_t n, stride, max_cycles, n_regs;
+} DriveJob;
+
+typedef struct {
+    Py_ssize_t cycles_run;
+    int diverged;
+    int error;                  /* 0 ok, else a DRIVE_ERR_* code */
+} SliceResult;
+
+enum { DRIVE_ERR_STATE = 1, DRIVE_ERR_PORTS = 2 };
+
+static const char *const DRIVE_ERR_MSG[] = {
+    NULL,
+    "lane cycle outside golden trace",
+    "lane cycle outside golden ports",
+};
+
+/* One lane to its next park event.  Pure function of per-lane state:
+ * no Python API, no shared writes — callable with the GIL released
+ * from any pool thread. */
+static int drive_lane(const DriveJob *d, Py_ssize_t i,
+                      Py_ssize_t *cycles_run, int *diverged)
+{
+    Ctx *x = d->x;
+    const RowMap *r = &x->r;
+    int64_t *t = d->t;
+    Py_ssize_t ran = 0;
+
+    while (ran < d->max_cycles) {
+        /* Rare-path events: observation horizon, or state equal to
+         * golden at a check cycle (retire / fast-forward).  Routine
+         * check outcomes (state differs) are handled inline exactly
+         * as the numpy driver would: soft lanes re-check every
+         * `stride` cycles, stuck-at lanes back off exponentially.
+         * The checks run pre-force on purpose — the scalar engine's
+         * snapshot at the same cycle is equally unforced. */
+        if (t[i] >= d->end[i])
+            break;
+        if (t[i] == d->next_chk[i]) {
+            if (t[i] < 0 || t[i] >= d->sm_cycles)
+                return DRIVE_ERR_STATE;
+            const u32 *g = d->sm + (size_t)t[i] * (size_t)d->sm_cols;
+            int eq = 1;
+            Py_ssize_t row;
+            for (row = 0; row < d->n_regs; row++) {
+                if (x->S[(size_t)row * (size_t)x->B + (size_t)i]
+                    != g[row]) {
+                    eq = 0;
+                    break;
+                }
+            }
+            if (eq)
+                break;
+            if (d->is_hard[i]) {
+                d->chk_iv[i] *= 2;
+                d->next_chk[i] = t[i] + d->chk_iv[i];
+            } else {
+                d->next_chk[i] += d->stride;
+            }
+        }
+
+        /* Re-assert the stuck-at force (soft lanes force the sink
+         * row). */
+        u32 *fp = &x->S[(size_t)d->force_row[i] * (size_t)x->B
+                        + (size_t)i];
+        *fp = (*fp & d->force_and[i]) | d->force_or[i];
+
+        /* Golden port compare at the lane's own cycle. */
+        if (t[i] < 0 || t[i] >= d->pm_cycles)
+            return DRIVE_ERR_PORTS;
+        const u32 *g = d->pm + (size_t)t[i] * (size_t)d->pm_cols;
+        int div = 0;
+        Py_ssize_t pk;
+        for (pk = 0; pk < 16; pk++) {
+            if (x->S[(size_t)x->port_rows[pk] * (size_t)x->B
+                     + (size_t)i] != g[pk]) {
+                div = 1;
+                break;
+            }
+        }
+        if (!div) {
+            u32 evs = (S_(r->status, i) & 1) | (S_(r->halted, i) << 1);
+            u32 evb = S_(r->br_taken, i) | (S_(r->br_valid, i) << 1);
+            if (evs != g[16] || evb != g[17])
+                div = 1;
+        }
+        if (div) {
+            *diverged = 1;
+            break;
+        }
+
+        step_lane(x, i);
+        t[i] += 1;
+        ran++;
+    }
+    *cycles_run += ran;
+    return 0;
+}
+
+/* Slice k of n_slices: the contiguous lane range
+ * [k*floor + min(k, rem), ...) so widths differ by at most one lane
+ * and each thread walks adjacent SoA columns (L1-friendly, no false
+ * sharing except at the two slice-boundary cache lines). */
+static void run_slice(const DriveJob *d, int k, int n_slices,
+                      SliceResult *res)
+{
+    Py_ssize_t lo, hi, i;
+    Py_ssize_t width = d->n / n_slices, rem = d->n % n_slices;
+    lo = (Py_ssize_t)k * width + (k < rem ? k : rem);
+    hi = lo + width + (k < rem ? 1 : 0);
+    res->cycles_run = 0;
+    res->diverged = 0;
+    res->error = 0;
+    for (i = lo; i < hi; i++) {
+        int err = drive_lane(d, i, &res->cycles_run, &res->diverged);
+        if (err) {
+            res->error = err;
+            return;
+        }
+    }
+}
+
+/* -- persistent worker-thread pool ------------------------------------------
+ *
+ * Created lazily on the first multithreaded drive() and reused for the
+ * life of the process (workers are detached and park in
+ * pthread_cond_wait between jobs, so an idle pool costs nothing).  One
+ * job slot: the dispatching thread holds `busy` for the whole
+ * dispatch/join, and a concurrent drive() that finds the pool busy
+ * (threaded shard executor running several engines at once) simply
+ * runs its own call single-threaded inline — never blocked, never
+ * deadlocked.  A fork invalidates inherited workers; the owner-pid
+ * check reinitialises the (then thread-free) child's pool state from
+ * scratch on its first drive.
+ */
+#define MAX_DRIVE_THREADS 64
+
+static struct {
+    pthread_mutex_t busy;       /* held across one job's dispatch+join */
+    pthread_mutex_t lock;       /* protects everything below */
+    pthread_cond_t work_cv;     /* a new job generation is available */
+    pthread_cond_t done_cv;     /* pending hit zero */
+    pid_t owner;                /* pid the pool threads belong to */
+    int spawned;                /* worker threads created (caller excluded) */
+    int ready;                  /* workers parked in their loop (<= spawned) */
+    unsigned long gen;          /* job generation counter */
+    int pending;                /* workers still to finish current gen */
+    const DriveJob *job;
+    int n_slices;
+    SliceResult results[MAX_DRIVE_THREADS];   /* worker w -> slice w+1 */
+} pool = {
+    PTHREAD_MUTEX_INITIALIZER, PTHREAD_MUTEX_INITIALIZER,
+    PTHREAD_COND_INITIALIZER, PTHREAD_COND_INITIALIZER,
+    0, 0, 0, 0, 0, NULL, 0, {{0, 0, 0}},
+};
+
+static void *drive_worker(void *arg)
+{
+    int id = (int)(intptr_t)arg;
+    unsigned long seen;
+    pthread_mutex_lock(&pool.lock);
+    /* A worker spawned while a job is in flight (ensure_pool growing
+     * the pool for a different caller) must not join that job — its
+     * dispatcher counted only the workers ready at dispatch time. */
+    seen = pool.gen;
+    pool.ready += 1;
+    for (;;) {
+        while (pool.gen == seen)
+            pthread_cond_wait(&pool.work_cv, &pool.lock);
+        seen = pool.gen;
+        {
+            const DriveJob *job = pool.job;
+            int n_slices = pool.n_slices;
+            pthread_mutex_unlock(&pool.lock);
+            if (job != NULL && id + 1 < n_slices)
+                run_slice(job, id + 1, n_slices, &pool.results[id]);
+            pthread_mutex_lock(&pool.lock);
+        }
+        if (--pool.pending == 0)
+            pthread_cond_signal(&pool.done_cv);
+    }
+    return NULL;                /* unreachable: workers live forever */
+}
+
+/* Grow the pool to `want` workers.  Called with the GIL held, so calls
+ * are serialised; returns the worker count actually available (spawn
+ * failure degrades the call, it never fails it). */
+static int ensure_pool(int want)
+{
+    if (pool.owner != getpid()) {
+        /* First use in this process — or a fork, which copies the
+         * bookkeeping but none of the threads.  No pool thread of ours
+         * can exist yet, so reinitialising the primitives is safe. */
+        pthread_mutex_init(&pool.busy, NULL);
+        pthread_mutex_init(&pool.lock, NULL);
+        pthread_cond_init(&pool.work_cv, NULL);
+        pthread_cond_init(&pool.done_cv, NULL);
+        pool.spawned = 0;
+        pool.ready = 0;
+        pool.gen = 0;
+        pool.pending = 0;
+        pool.owner = getpid();
+    }
+    while (pool.spawned < want && pool.spawned < MAX_DRIVE_THREADS) {
+        pthread_t tid;
+        pthread_attr_t attr;
+        if (pthread_attr_init(&attr) != 0)
+            break;
+        pthread_attr_setdetachstate(&attr, PTHREAD_CREATE_DETACHED);
+        if (pthread_create(&tid, &attr, drive_worker,
+                           (void *)(intptr_t)pool.spawned) != 0) {
+            pthread_attr_destroy(&attr);
+            break;              /* degrade to the threads we have */
+        }
+        pthread_attr_destroy(&attr);
+        pool.spawned += 1;
+    }
+    return pool.spawned;
+}
+
+/* Run one job across at most want_slices slices (slice 0 always on
+ * the calling thread), merging the per-slice triples.  The live slice
+ * count is clamped, under the lock, to the workers actually parked in
+ * their loop — a freshly spawned worker that hasn't reached its wait
+ * yet must not be assigned a slice it would never run.  Every ready
+ * worker joins the generation barrier even when it has no slice.
+ * Called with the GIL released and pool.busy held. */
+static void run_job(const DriveJob *job, int want_slices,
+                    SliceResult *out)
+{
+    SliceResult mine;
+    int n_slices, dispatched = 0, k;
+
+    pthread_mutex_lock(&pool.lock);
+    n_slices = pool.ready + 1;
+    if (n_slices > want_slices)
+        n_slices = want_slices;
+    if (n_slices > 1) {
+        pool.job = job;
+        pool.n_slices = n_slices;
+        pool.pending = pool.ready;
+        pool.gen += 1;
+        dispatched = 1;
+        pthread_cond_broadcast(&pool.work_cv);
+    }
+    pthread_mutex_unlock(&pool.lock);
+
+    run_slice(job, 0, n_slices, &mine);
+
+    if (dispatched) {
+        pthread_mutex_lock(&pool.lock);
+        while (pool.pending != 0)
+            pthread_cond_wait(&pool.done_cv, &pool.lock);
+        pool.job = NULL;
+        pthread_mutex_unlock(&pool.lock);
+    }
+    *out = mine;
+    for (k = 1; k < n_slices; k++) {
+        out->cycles_run += pool.results[k - 1].cycles_run;
+        out->diverged |= pool.results[k - 1].diverged;
+        if (out->error == 0)
+            out->error = pool.results[k - 1].error;
+    }
+}
+
 static PyObject *py_drive(PyObject *self, PyObject *args)
 {
     PyObject *s_obj, *m_obj, *sm_obj, *pm_obj, *stim_obj;
     PyObject *t_obj, *end_obj, *chk_obj, *iv_obj, *hard_obj;
     PyObject *frow_obj, *fand_obj, *for_obj, *tables;
-    Py_ssize_t n, stride, max_cycles;
+    Py_ssize_t n, stride, max_cycles, n_threads;
 
-    if (!PyArg_ParseTuple(args, "OOOOOOOOOOOOOOnnn", &s_obj, &m_obj,
+    if (!PyArg_ParseTuple(args, "OOOOOOOOOOOOOOnnnn", &s_obj, &m_obj,
                           &sm_obj, &pm_obj, &stim_obj, &t_obj, &end_obj,
                           &chk_obj, &iv_obj, &hard_obj, &frow_obj,
                           &fand_obj, &for_obj, &tables, &n, &stride,
-                          &max_cycles))
+                          &max_cycles, &n_threads))
         return NULL;
 
     enum { B_S, B_M, B_SM, B_PM, B_STIM, B_T, B_END, B_CHK, B_IV,
@@ -762,91 +1053,46 @@ static PyObject *py_drive(PyObject *self, PyObject *args)
         goto cleanup;
     }
 
-    Py_ssize_t cycles_run = 0;
-    int diverged = 0;
-    const RowMap *r = &x->r;
-    Py_ssize_t i;
+    DriveJob job = {
+        x, sm, pm, sm_cols, sm_cycles, pm_cols, pm_cycles,
+        t, end, next_chk, chk_iv, is_hard, force_row, force_and,
+        force_or, n, stride, max_cycles, n_regs,
+    };
+    SliceResult total;
+    int n_slices = 1;
 
-    for (i = 0; i < n; i++) {
-        Py_ssize_t ran = 0;
-        while (ran < max_cycles) {
-            /* Rare-path events: observation horizon, or state equal
-             * to golden at a check cycle (retire / fast-forward).
-             * Routine check outcomes (state differs) are handled
-             * inline exactly as the numpy driver would: soft lanes
-             * re-check every `stride` cycles, stuck-at lanes back off
-             * exponentially.  The checks run pre-force on purpose —
-             * the scalar engine's snapshot at the same cycle is
-             * equally unforced. */
-            if (t[i] >= end[i])
-                break;
-            if (t[i] == next_chk[i]) {
-                if (t[i] < 0 || t[i] >= sm_cycles) {
-                    PyErr_SetString(PyExc_ValueError,
-                                    "lane cycle outside golden trace");
-                    goto cleanup;
-                }
-                const u32 *g = sm + (size_t)t[i] * (size_t)sm_cols;
-                int eq = 1;
-                Py_ssize_t row;
-                for (row = 0; row < n_regs; row++) {
-                    if (x->S[(size_t)row * (size_t)x->B + (size_t)i]
-                        != g[row]) {
-                        eq = 0;
-                        break;
-                    }
-                }
-                if (eq)
-                    break;
-                if (is_hard[i]) {
-                    chk_iv[i] *= 2;
-                    next_chk[i] = t[i] + chk_iv[i];
-                } else {
-                    next_chk[i] += stride;
-                }
-            }
-
-            /* Re-assert the stuck-at force (soft lanes force the sink
-             * row). */
-            u32 *fp = &x->S[(size_t)force_row[i] * (size_t)x->B
-                            + (size_t)i];
-            *fp = (*fp & force_and[i]) | force_or[i];
-
-            /* Golden port compare at the lane's own cycle. */
-            if (t[i] < 0 || t[i] >= pm_cycles) {
-                PyErr_SetString(PyExc_ValueError,
-                                "lane cycle outside golden ports");
-                goto cleanup;
-            }
-            const u32 *g = pm + (size_t)t[i] * (size_t)pm_cols;
-            int div = 0;
-            Py_ssize_t pk;
-            for (pk = 0; pk < 16; pk++) {
-                if (x->S[(size_t)x->port_rows[pk] * (size_t)x->B
-                         + (size_t)i] != g[pk]) {
-                    div = 1;
-                    break;
-                }
-            }
-            if (!div) {
-                u32 evs = (S_(r->status, i) & 1) | (S_(r->halted, i) << 1);
-                u32 evb = S_(r->br_taken, i) | (S_(r->br_valid, i) << 1);
-                if (evs != g[16] || evb != g[17])
-                    div = 1;
-            }
-            if (div) {
-                diverged = 1;
-                break;
-            }
-
-            step_lane(x, i);
-            t[i] += 1;
-            ran++;
-        }
-        cycles_run += ran;
+    if (n_threads > (Py_ssize_t)(MAX_DRIVE_THREADS + 1))
+        n_threads = MAX_DRIVE_THREADS + 1;
+    if (n_threads > n)
+        n_threads = n;          /* never hand a thread an empty slice */
+    if (n_threads > 1) {
+        /* GIL still held: serialised pool growth, then claim the job
+         * slot.  A concurrent drive() (threaded shard executor) that
+         * loses the trylock runs inline single-threaded instead of
+         * blocking on the pool. */
+        int avail = ensure_pool((int)n_threads - 1);
+        if (avail > (int)n_threads - 1)
+            avail = (int)n_threads - 1;  /* pool may have grown larger */
+        if (avail > 0 && pthread_mutex_trylock(&pool.busy) == 0)
+            n_slices = avail + 1;
     }
 
-    ret = Py_BuildValue("(ni)", cycles_run, diverged);
+    if (n_slices > 1) {
+        Py_BEGIN_ALLOW_THREADS
+        run_job(&job, n_slices, &total);
+        Py_END_ALLOW_THREADS
+        pthread_mutex_unlock(&pool.busy);
+    } else {
+        Py_BEGIN_ALLOW_THREADS
+        run_slice(&job, 0, 1, &total);
+        Py_END_ALLOW_THREADS
+    }
+
+    if (total.error != 0) {
+        PyErr_SetString(PyExc_ValueError, DRIVE_ERR_MSG[total.error]);
+        goto cleanup;
+    }
+    ret = Py_BuildValue("(ni)", total.cycles_run, total.diverged);
 
 cleanup:
     if (tables_held)
@@ -855,13 +1101,28 @@ cleanup:
     return ret;
 }
 
+/* Worker threads created in this process so far (0 after a fork until
+ * the next multithreaded drive).  Introspection for tests/benchmarks. */
+static PyObject *py_pool_size(PyObject *self, PyObject *args)
+{
+    (void)self;
+    (void)args;
+    if (pool.owner != getpid())
+        return PyLong_FromLong(0);
+    return PyLong_FromLong((long)pool.spawned);
+}
+
 static PyMethodDef methods[] = {
     {"step", py_step, METH_VARARGS,
      "step(S, M, stim, tables, n): advance lanes 0..n-1 one cycle."},
     {"drive", py_drive, METH_VARARGS,
      "drive(S, M, sm, pm, stim, t, end, next_chk, chk_iv, is_hard, "
-     "force_row, force_and, force_or, tables, n, stride, max_cycles) "
-     "-> (cycles_run, diverged): fused force/compare/step loop."},
+     "force_row, force_and, force_or, tables, n, stride, max_cycles, "
+     "n_threads) -> (cycles_run, diverged): fused force/compare/step "
+     "loop; lanes are sliced across a persistent thread pool (GIL "
+     "released) when n_threads > 1."},
+    {"pool_size", py_pool_size, METH_NOARGS,
+     "pool_size() -> worker threads alive in this process's pool."},
     {NULL, NULL, 0, NULL},
 };
 

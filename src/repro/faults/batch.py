@@ -178,11 +178,9 @@ NOT4 = np.array([0xE, 0xD, 0xB, 0x7], dtype=_U32)
 
 _FULL32 = _U32(0xFFFFFFFF)
 
-#: Measured occupancy at which one vectorised step (~150 numpy
-#: dispatches, ~0.7 ms fixed) costs the same as stepping that many
-#: lanes through the scalar engine (~4.3 us per lane-cycle).  Below
-#: this the kernel loses to plain Python, so such lanes drain scalar.
-_KERNEL_BREAKEVEN_LANES = 192
+# The scalar-drain breakeven lives in kernels.KERNEL_BREAKEVEN_LANES:
+# it is a property of the backend (numpy's ~150-dispatch fixed cost vs
+# one C call), not of this engine.
 
 # -- compiled kernel tables ---------------------------------------------------
 
@@ -296,7 +294,7 @@ class BatchInjectionEngine:
     def __init__(self, golden: GoldenTrace, max_observe: int | None = None,
                  mask_check_stride: int = 4, prune: bool = True,
                  batch: int = 256, tail_lanes: int | None = None,
-                 kernel: str | None = None):
+                 kernel: str | None = None, threads: int | None = None):
         self.golden = golden
         self.max_observe = max_observe
         self.mask_check_stride = max(1, mask_check_stride)
@@ -306,20 +304,26 @@ class BatchInjectionEngine:
         #: :mod:`repro.faults.kernels` for the selection rules.
         self.kernel = _kernels.resolve_kernel(kernel)
         self._cext = _kernels.cext_module() if self.kernel == "cext" else None
-        # Below this many live lanes the numpy kernel's fixed per-call
-        # dispatch cost exceeds per-lane Python stepping, so such lanes
-        # are finished scalar: as the straggler tail once the queue is
+        #: Drive-loop thread count for the compiled kernel (the numpy
+        #: kernel ignores it).  Any value is digest-identical — lane
+        #: slices merge in lane order — so this is purely a wall-clock
+        #: knob; see DESIGN §5.17 for the slice-width math.
+        self.threads = _kernels.resolve_threads(threads, lanes=self.batch)
+        # Below this many live lanes the batch kernel's fixed per-call
+        # cost exceeds per-lane Python stepping, so such lanes are
+        # finished scalar: as the straggler tail once the queue is
         # empty, or — when the batch size itself is at or below the
         # breakeven — for the entire run (the engine then degrades
         # gracefully to scalar speed instead of paying the dispatch
-        # cost at hopeless occupancy).  0 disables the fallback; it is
-        # also the compiled kernel's default, which has no dispatch
-        # floor to amortize and outruns per-lane Python at any
-        # occupancy.  Either default yields identical digests (the
-        # drain replays the exact per-lane decision sequence).
+        # cost at hopeless occupancy).  The breakeven is per-backend
+        # (kernels.KERNEL_BREAKEVEN_LANES): ~192 lanes for numpy's
+        # ~150-dispatch step, a handful for the compiled kernel whose
+        # only fixed cost is one C call.  Any value yields identical
+        # digests (the drain replays the exact per-lane decision
+        # sequence); 0 disables the fallback.
         if tail_lanes is None:
-            tail_lanes = (0 if self._cext is not None
-                          else min(self.batch, _KERNEL_BREAKEVEN_LANES))
+            tail_lanes = min(self.batch,
+                             _kernels.breakeven_lanes(self.kernel))
         self._tail_lanes = tail_lanes
         self._tail_cpu: Cpu | None = None
         self.stats = PruneStats()
@@ -645,7 +649,7 @@ class BatchInjectionEngine:
                     t, self.end, self.next_chk, self.chk_iv,
                     self.is_hard, self.force_row, self.force_and,
                     self.force_or, self._tables, n,
-                    self.mask_check_stride, 1 << 30)
+                    self.mask_check_stride, 1 << 30, self.threads)
                 stats.sim_cycles += ran
 
             # (a) lanes past their observation horizon: masked.

@@ -206,7 +206,9 @@ def run_campaign(config: CampaignConfig | None = None,
                  progress: bool = False, workers: int | None = 1,
                  chunk_flops: int | None = None,
                  batch: int | None = None,
-                 kernel: str | None = None) -> CampaignResult:
+                 kernel: str | None = None,
+                 executor: str | None = None,
+                 threads: int | None = None) -> CampaignResult:
     """Execute a campaign and return its result.
 
     Args:
@@ -227,13 +229,21 @@ def run_campaign(config: CampaignConfig | None = None,
             ``"numpy"`` or ``"auto"``/``None`` (compiled when
             available; see :mod:`repro.faults.kernels`).  Also purely
             an execution knob.
+        executor: shard fan-out backend — ``"process"`` (default) or
+            ``"thread"`` (in-process workers sharing one golden cache;
+            effective with the GIL-releasing compiled kernel).  Also
+            purely an execution knob.
+        threads: compiled kernel drive-loop thread count (``None``
+            auto-sizes; see :func:`repro.faults.kernels.resolve_threads`).
+            Also purely an execution knob.
     """
     from .parallel import execute_campaign
 
     config = config or CampaignConfig.default()
     return execute_campaign(config, progress=progress, workers=workers,
                             chunk_flops=chunk_flops, batch=batch,
-                            kernel=kernel)
+                            kernel=kernel, executor=executor,
+                            threads=threads)
 
 
 def _load_cached(path: Path, config: CampaignConfig) -> CampaignResult | None:
@@ -263,13 +273,16 @@ def cached_campaign(config: CampaignConfig | None = None,
                     progress: bool = False,
                     workers: int | None = 1,
                     batch: int | None = None,
-                    kernel: str | None = None) -> CampaignResult:
+                    kernel: str | None = None,
+                    executor: str | None = None,
+                    threads: int | None = None) -> CampaignResult:
     """Run a campaign, or load it from the on-disk cache if present.
 
     All benchmark-harness figures share one campaign run through this
     cache, keyed by the configuration hash.  The key is independent of
-    ``workers``, ``batch`` and ``kernel`` — a result computed with any
-    worker count, engine (scalar / vectorised) or step backend is
+    ``workers``, ``batch``, ``kernel``, ``executor`` and ``threads`` —
+    a result computed with any worker count, engine (scalar /
+    vectorised), step backend, shard executor or thread count is
     identical, so it is shared by all of them.
     """
     config = config or CampaignConfig.default()
@@ -279,6 +292,7 @@ def cached_campaign(config: CampaignConfig | None = None,
         if result is not None:
             return result
     result = run_campaign(config, progress=progress, workers=workers,
-                          batch=batch, kernel=kernel)
+                          batch=batch, kernel=kernel, executor=executor,
+                          threads=threads)
     result.save(path)
     return result

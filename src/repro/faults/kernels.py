@@ -27,6 +27,51 @@ import os
 
 KERNEL_CHOICES = ("auto", "cext", "numpy")
 KERNEL_ENV = "REPRO_KERNEL"
+THREADS_ENV = "REPRO_CSTEP_THREADS"
+
+#: Lane count below which the *scalar* engine beats the batch kernel,
+#: per backend.  The numpy kernel pays ~150 python dispatches per cycle
+#: regardless of width, so narrow tails (campaign remainders, final
+#: partial batches) are cheaper to drain scalar up to ~192 lanes
+#: (measured, DESIGN §5.14).  The compiled kernel's per-call overhead
+#: is a single C call, so its breakeven is essentially the cost of
+#: re-packing lane state — a handful of lanes.  `BatchInjectionEngine`
+#: reads this instead of hard-coding the numpy constant, which used to
+#: throw away the cext kernel's advantage on every tail.
+KERNEL_BREAKEVEN_LANES = {"numpy": 192, "cext": 8}
+
+
+def breakeven_lanes(kernel: str) -> int:
+    """Scalar-drain breakeven for a concrete backend name."""
+    try:
+        return KERNEL_BREAKEVEN_LANES[kernel]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {kernel!r} "
+            f"(choose from {tuple(KERNEL_BREAKEVEN_LANES)})") from None
+
+
+def resolve_threads(threads: int | None = None,
+                    lanes: int | None = None) -> int:
+    """Resolve a drive-loop thread-count request to a concrete count.
+
+    ``None`` falls back to ``$REPRO_CSTEP_THREADS``, then to the
+    auto-size ``min(cores, lanes // 16)`` — one thread per core, but
+    never slicing below 16 lanes/thread (a slice narrower than that is
+    dominated by dispatch, see DESIGN §5.17).  Always >= 1.  The
+    result only affects wall-clock: lane slices are merged in lane
+    order, so any value is digest-identical.
+    """
+    if threads is None:
+        env = os.environ.get(THREADS_ENV)
+        if env:
+            threads = int(env)
+    if threads is None:
+        cores = os.cpu_count() or 1
+        threads = min(cores, (lanes or 0) // 16) if lanes else cores
+    if threads < 1:
+        threads = 1
+    return threads
 
 
 def cext_module():

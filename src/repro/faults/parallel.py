@@ -38,8 +38,10 @@ The serial path (``workers=1``) runs the very same shards inline, so
 from __future__ import annotations
 
 import os
+import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                ThreadPoolExecutor, wait)
 from dataclasses import dataclass
 
 import numpy as np
@@ -77,6 +79,26 @@ def resolve_workers(workers: int | None) -> int:
     if not workers:
         return os.cpu_count() or 1
     return max(1, int(workers))
+
+
+#: Shard executor backends.  ``process`` (the default) fans shards out
+#: to a ``ProcessPoolExecutor`` — fully general, required for the
+#: GIL-bound pure-Python kernels.  ``thread`` runs shard workers as
+#: threads in this process: with the compiled kernel's ``drive()``
+#: releasing the GIL, shard runners genuinely overlap while sharing
+#: one golden cache and one import of everything — no process spawn,
+#: no pickling, no per-worker re-derived goldens.
+EXECUTOR_CHOICES = ("process", "thread")
+
+
+def resolve_executor(executor: str | None) -> str:
+    """Normalise an executor request (``None`` = ``process``)."""
+    resolved = executor or "process"
+    if resolved not in EXECUTOR_CHOICES:
+        raise ValueError(
+            f"unknown executor {resolved!r} "
+            f"(choose from {EXECUTOR_CHOICES})")
+    return resolved
 
 
 @dataclass(frozen=True)
@@ -122,18 +144,25 @@ def plan_shards(benchmarks: tuple[str, ...], flops: list[FlopRef],
 
 #: Per-process GoldenTrace cache: (benchmark, seed) -> trace.  Worker
 #: processes are reused across shards, so each benchmark's golden run
-#: is simulated at most once per process.
+#: is simulated at most once per process.  Under the thread executor
+#: *all* shard runners share these dicts, which is the point — one
+#: golden per process, not one per worker; the lock only serialises
+#: construction (a miss), never a hit.
 _GOLDEN_CACHE: dict[tuple[str, int], GoldenTrace] = {}
+_CACHE_LOCK = threading.Lock()
 
 
 def _golden_for(benchmark: str, seed: int) -> GoldenTrace:
     key = (benchmark, seed)
     golden = _GOLDEN_CACHE.get(key)
     if golden is None:
-        # The on-disk cache (see repro.faults.golden) makes a pool
-        # worker's first shard a trace *load* instead of a simulation.
-        golden = GoldenTrace.cached(KERNELS[benchmark], seed=seed)
-        _GOLDEN_CACHE[key] = golden
+        with _CACHE_LOCK:
+            golden = _GOLDEN_CACHE.get(key)
+            if golden is None:
+                # The on-disk cache (see repro.faults.golden) makes a
+                # worker's first shard a trace *load*, not a simulation.
+                golden = GoldenTrace.cached(KERNELS[benchmark], seed=seed)
+                _GOLDEN_CACHE[key] = golden
     return golden
 
 
@@ -147,13 +176,17 @@ def _tiered_for(benchmark: str, seed: int) -> TieredGolden:
     key = (benchmark, seed)
     tiered = _TIERED_CACHE.get(key)
     if tiered is None:
-        tiered = TieredGolden(KERNELS[benchmark], seed=seed)
-        _TIERED_CACHE[key] = tiered
+        with _CACHE_LOCK:
+            tiered = _TIERED_CACHE.get(key)
+            if tiered is None:
+                tiered = TieredGolden(KERNELS[benchmark], seed=seed)
+                _TIERED_CACHE[key] = tiered
     return tiered
 
 
 def run_shard(config, shard: Shard, batch: int | None = None,
-              kernel: str | None = None) -> tuple[
+              kernel: str | None = None,
+              threads: int | None = None) -> tuple[
         list[ErrorRecord], dict[tuple[str, str], int], int, dict[str, int]]:
     """Execute one shard.
 
@@ -168,7 +201,9 @@ def run_shard(config, shard: Shard, batch: int | None = None,
     :mod:`repro.faults.batch`); None/0 runs the scalar engine.
     ``kernel`` picks the batch engine's step backend (see
     :mod:`repro.faults.kernels`); records and pruning stats are
-    bit-identical for any engine/kernel.  The batch path goes through
+    bit-identical for any engine/kernel.  ``threads`` sets the
+    compiled kernel's drive-loop thread count (wall-clock only, same
+    contract).  The batch path goes through
     :class:`~repro.faults.arch.TieredGolden`: scheduling uses the
     cheap ``n_cycles`` peek and the flop-accurate trace is loaded —
     architecturally cross-checked — only when the shard has faults to
@@ -195,7 +230,8 @@ def run_shard(config, shard: Shard, batch: int | None = None,
         engine = BatchInjectionEngine(
             tiered.full, max_observe=config.max_observe,
             mask_check_stride=config.mask_check_stride,
-            prune=config.prune, batch=batch, kernel=kernel)
+            prune=config.prune, batch=batch, kernel=kernel,
+            threads=threads)
         outcomes = engine.inject_all(faults)
         records = [r for r in outcomes if r is not None]
         return records, injected, n_cycles, engine.stats.as_dict()
@@ -222,20 +258,27 @@ def run_shard(config, shard: Shard, batch: int | None = None,
 def execute_campaign(config, progress: bool = False, workers: int | None = 1,
                      chunk_flops: int | None = None,
                      batch: int | None = None,
-                     kernel: str | None = None):
-    """Run a campaign across ``workers`` processes; merge deterministically.
+                     kernel: str | None = None,
+                     executor: str | None = None,
+                     threads: int | None = None):
+    """Run a campaign across ``workers`` shard runners; merge deterministically.
 
     This is the engine behind :func:`repro.faults.run_campaign`; see
-    that wrapper for the public contract.  ``batch`` and ``kernel``
-    (like ``workers`` and ``chunk_flops``) are execution knobs, not
-    part of the configuration: they select the vectorised engine and
-    its step backend without entering the cache key, because results
-    are bit-identical for any value.
+    that wrapper for the public contract.  ``batch``, ``kernel``,
+    ``executor`` and ``threads`` (like ``workers`` and
+    ``chunk_flops``) are execution knobs, not part of the
+    configuration: they select the vectorised engine, its step
+    backend, the shard fan-out (``process`` pool vs in-process
+    ``thread`` pool — the latter shares one golden cache and relies on
+    the compiled kernel releasing the GIL) and the drive-loop thread
+    count, without entering the cache key, because results are
+    bit-identical for any value.
     """
     from .campaign import CampaignResult, sample_flops
     from .kernels import resolve_kernel
 
     workers = resolve_workers(workers)
+    executor = resolve_executor(executor)
     flops = sample_flops(config, sampling_rng(config.seed))
     sampled: dict[str, int] = {}
     for flop in flops:
@@ -269,16 +312,19 @@ def execute_campaign(config, progress: bool = False, workers: int | None = 1,
 
     if workers == 1 or len(shards) == 1:
         for i, shard in enumerate(shards):
-            outcome = run_shard(config, shard, batch, resolved_kernel)
+            outcome = run_shard(config, shard, batch, resolved_kernel,
+                                threads)
             outcomes[shard.order_key] = outcome
             _absorb(outcome)
             if progress:
                 _print_progress(i + 1, len(shards), error_count, start,
                                 pruning)
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        pool_cls = (ThreadPoolExecutor if executor == "thread"
+                    else ProcessPoolExecutor)
+        with pool_cls(max_workers=workers) as pool:
             pending = {pool.submit(run_shard, config, shard, batch,
-                                   resolved_kernel): shard
+                                   resolved_kernel, threads): shard
                        for shard in shards}
             done_count = 0
             while pending:
@@ -312,7 +358,8 @@ def execute_campaign(config, progress: bool = False, workers: int | None = 1,
         wall_seconds=time.perf_counter() - start,
         meta={"workers": workers, "n_shards": len(shards),
               "chunk_flops": chunk, "batch": batch,
-              "kernel": resolved_kernel, "pruning": pruning},
+              "kernel": resolved_kernel, "executor": executor,
+              "threads": threads, "pruning": pruning},
     )
 
 

@@ -90,6 +90,7 @@ class ServiceClient:
 
 def run_worker(base_url: str, worker_id: str = "worker",
                batch: int | None = None, kernel: str | None = None,
+               threads: int | None = None,
                ttl: float | None = None, poll_seconds: float = 0.5,
                max_shards: int | None = None, progress: bool = False) -> int:
     """Lease-execute-commit loop against a campaign service.
@@ -114,7 +115,7 @@ def run_worker(base_url: str, worker_id: str = "worker",
             time.sleep(poll_seconds)
             continue
         shard = shard_from_wire(grant["shard"])
-        outcome = run_shard(config, shard, batch, resolved_kernel)
+        outcome = run_shard(config, shard, batch, resolved_kernel, threads)
         client.commit(grant["shard_id"], outcome)
         done += 1
         if progress:

@@ -17,10 +17,11 @@ reproduces it byte for byte.
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                ThreadPoolExecutor, wait)
 
 from ..campaign import CampaignConfig, CampaignResult
-from ..parallel import resolve_workers, run_shard
+from ..parallel import resolve_executor, resolve_workers, run_shard
 from .ledger import DEFAULT_LEASE_TTL, CampaignLedger
 from .store import IncrementalResultStore, streaming_digest
 
@@ -69,6 +70,8 @@ def run_resumable_campaign(config: CampaignConfig | None = None,
                            chunk_flops: int | None = None,
                            batch: int | None = None,
                            kernel: str | None = None,
+                           executor: str | None = None,
+                           threads: int | None = None,
                            lease_ttl: float = DEFAULT_LEASE_TTL,
                            on_commit=None) -> CampaignResult:
     """Run (or resume) a campaign through the durable ledger.
@@ -78,11 +81,12 @@ def run_resumable_campaign(config: CampaignConfig | None = None,
             :meth:`CampaignConfig.default`).
         ledger_dir: root directory for per-campaign ledgers; the same
             directory + config always resumes the same ledger.
-        workers / chunk_flops / batch / kernel: execution knobs exactly
-            as in :func:`repro.faults.run_campaign` — none of them
-            affects results, and none is pinned by the ledger except
-            the shard chunking (fixed in the manifest at creation so
-            every resume sees one shard plan).
+        workers / chunk_flops / batch / kernel / executor / threads:
+            execution knobs exactly as in
+            :func:`repro.faults.run_campaign` — none of them affects
+            results, and none is pinned by the ledger except the shard
+            chunking (fixed in the manifest at creation so every
+            resume sees one shard plan).
         lease_ttl: seconds before an uncommitted lease is reclaimed.
         on_commit: optional ``callback(shard_id, n_committed)`` fired
             after each durable commit — the crash-recovery tests use it
@@ -95,6 +99,7 @@ def run_resumable_campaign(config: CampaignConfig | None = None,
 
     config = config or CampaignConfig.default()
     workers = resolve_workers(workers)
+    executor = resolve_executor(executor)
     ledger = CampaignLedger(ledger_dir, config, workers=workers,
                             chunk_flops=chunk_flops, batch=batch)
     resumed = ledger.n_committed
@@ -115,10 +120,13 @@ def run_resumable_campaign(config: CampaignConfig | None = None,
             grant = ledger.lease("local", ttl=lease_ttl)
             if grant is None:
                 break
-            outcome = run_shard(config, grant.shard, batch, resolved_kernel)
+            outcome = run_shard(config, grant.shard, batch, resolved_kernel,
+                                threads)
             _commit(grant.shard_id, outcome)
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        pool_cls = (ThreadPoolExecutor if executor == "thread"
+                    else ProcessPoolExecutor)
+        with pool_cls(max_workers=workers) as pool:
             pending: dict = {}
             def _refill() -> None:
                 while len(pending) < workers:
@@ -126,7 +134,7 @@ def run_resumable_campaign(config: CampaignConfig | None = None,
                     if grant is None:
                         return
                     future = pool.submit(run_shard, config, grant.shard,
-                                         batch, resolved_kernel)
+                                         batch, resolved_kernel, threads)
                     pending[future] = grant
             _refill()
             while pending:
@@ -148,6 +156,7 @@ def run_resumable_campaign(config: CampaignConfig | None = None,
         meta={"workers": workers, "n_shards": ledger.n_shards,
               "chunk_flops": int(ledger.manifest["chunk_flops"]),
               "batch": batch, "kernel": resolved_kernel,
+              "executor": executor, "threads": threads,
               "resumed_shards": resumed,
               "ledger": str(ledger.path)},
     )

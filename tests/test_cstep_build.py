@@ -1,0 +1,102 @@
+"""First-use auto-build of the compiled kernel: locking + atomicity.
+
+The ``_cstep`` loader compiles its single translation unit with the
+system cc on first import.  Campaign pool workers — and now shard
+*threads* — can all hit that first use at once, so the build is
+serialized with an ``fcntl`` lockfile and published with a
+write-temp/rename.  These tests hammer that path: many concurrent
+fresh imports against an empty cache must each end up with a working
+module, exactly one published artifact, and (with the lock available)
+exactly one actual compile.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.faults import _cstep
+
+pytestmark = pytest.mark.skipif(
+    _cstep.MODULE is None,
+    reason=f"compiled kernel unavailable: {_cstep.BUILD_ERROR}")
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _import_probe(cache_dir: Path, extra_env: dict | None = None):
+    """Import repro.faults._cstep in a fresh interpreter, empty module
+    cache, and report whether the module loaded."""
+    env = dict(os.environ)
+    env["REPRO_CSTEP_CACHE"] = str(cache_dir)
+    env["PYTHONPATH"] = f"{_SRC}{os.pathsep}" + env.get("PYTHONPATH", "")
+    env.pop("REPRO_CSTEP_BUILD", None)
+    env.update(extra_env or {})
+    return subprocess.Popen(
+        [sys.executable, "-c",
+         "import repro.faults._cstep as m; "
+         "import sys; sys.exit(0 if m.MODULE is not None else 3)"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+
+def test_concurrent_first_use_builds(tmp_path):
+    """N processes racing the first-use build all load the module and
+    leave exactly one published artifact in the cache."""
+    cache = tmp_path / "cstep_cache"
+    procs = [_import_probe(cache) for _ in range(4)]
+    for proc in procs:
+        _out, err = proc.communicate(timeout=300)
+        assert proc.returncode == 0, err.decode()
+    artifacts = [p for p in cache.iterdir()
+                 if p.suffix == ".so" and not p.name.startswith(".")]
+    assert len(artifacts) == 1
+    # No orphaned write-temps survive the publish.
+    assert not [p for p in cache.iterdir() if p.name.endswith(".tmp")]
+
+
+def test_build_lock_serializes_threads(tmp_path):
+    """The flock context admits one holder at a time across threads."""
+    target = tmp_path / "artifact.so"
+    active = []
+    overlaps = []
+    lock = threading.Lock()
+
+    def contender():
+        with _cstep._build_lock(target):
+            with lock:
+                overlaps.append(len(active))
+                active.append(1)
+            # Widen the race window so a broken lock would overlap.
+            threading.Event().wait(0.02)
+            with lock:
+                active.pop()
+
+    threads = [threading.Thread(target=contender) for _ in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert overlaps == [0] * 6  # nobody ever saw another holder inside
+    assert (tmp_path / "artifact.so.lock").exists()
+
+
+def test_losing_builder_skips_compile(tmp_path):
+    """A process that finds the artifact already published under the
+    lock must not compile again (the double-check inside _build)."""
+    cache = tmp_path / "cache"
+    # First: a real build to populate the cache.
+    proc = _import_probe(cache)
+    _out, err = proc.communicate(timeout=300)
+    assert proc.returncode == 0, err.decode()
+    artifact = next(p for p in cache.iterdir() if p.suffix == ".so")
+    stamp = artifact.stat().st_mtime_ns
+    # Second import with a broken CC: it must *load*, never compile.
+    proc = _import_probe(cache, extra_env={"CC": "/nonexistent-cc"})
+    _out, err = proc.communicate(timeout=300)
+    assert proc.returncode == 0, err.decode()
+    assert artifact.stat().st_mtime_ns == stamp

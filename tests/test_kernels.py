@@ -18,14 +18,19 @@ import random
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.faults import (
     BatchInjectionEngine,
     CampaignConfig,
     InjectionEngine,
+    KERNEL_BREAKEVEN_LANES,
     KERNEL_CHOICES,
+    breakeven_lanes,
     cext_available,
     resolve_kernel,
+    resolve_threads,
     run_campaign,
     sample_flops,
     schedule_faults,
@@ -202,3 +207,129 @@ def test_campaign_kernel_digest_parity(quick_campaign):
 def test_campaign_meta_kernel_none_for_scalar(quick_campaign):
     """The scalar engine has no step kernel; meta records that."""
     assert quick_campaign.meta.get("kernel") is None
+
+
+# -- per-kernel scalar-drain breakeven ----------------------------------------
+
+def test_breakeven_is_per_kernel():
+    """The numpy constant must not leak onto the cext path: the
+    compiled kernel's only fixed cost is one C call, so its breakeven
+    is a handful of lanes, not ~192."""
+    assert KERNEL_BREAKEVEN_LANES["numpy"] == 192
+    assert KERNEL_BREAKEVEN_LANES["cext"] <= 16
+    assert breakeven_lanes("numpy") == 192
+    assert breakeven_lanes("cext") == KERNEL_BREAKEVEN_LANES["cext"]
+    with pytest.raises(ValueError, match="unknown kernel"):
+        breakeven_lanes("auto")  # only concrete backends have one
+
+
+def test_engine_tail_lanes_kernel_aware(ttsprk_golden):
+    numpy_engine = BatchInjectionEngine(ttsprk_golden, kernel="numpy",
+                                        batch=256)
+    assert numpy_engine._tail_lanes == 192
+    # Narrow batches cap at the batch size (whole run drains scalar).
+    assert BatchInjectionEngine(ttsprk_golden, kernel="numpy",
+                                batch=64)._tail_lanes == 64
+    if cext_available():
+        cext_engine = BatchInjectionEngine(ttsprk_golden, kernel="cext",
+                                           batch=256)
+        assert cext_engine._tail_lanes == breakeven_lanes("cext")
+    # An explicit tail_lanes always wins.
+    assert BatchInjectionEngine(ttsprk_golden, kernel="numpy",
+                                tail_lanes=7)._tail_lanes == 7
+
+
+# -- drive-loop thread resolution ---------------------------------------------
+
+def test_resolve_threads_explicit_and_clamped():
+    assert resolve_threads(4) == 4
+    assert resolve_threads(1) == 1
+    assert resolve_threads(0) == 1
+    assert resolve_threads(-3) == 1
+
+
+def test_resolve_threads_env(monkeypatch):
+    monkeypatch.setenv(kernels.THREADS_ENV, "3")
+    assert resolve_threads(None) == 3
+    assert resolve_threads(2) == 2  # explicit beats env
+
+
+def test_resolve_threads_autosize(monkeypatch):
+    monkeypatch.delenv(kernels.THREADS_ENV, raising=False)
+    cores = __import__("os").cpu_count() or 1
+    # One thread per core, but never slices below 16 lanes/thread.
+    assert resolve_threads(None, lanes=256) == max(1, min(cores, 16))
+    assert resolve_threads(None, lanes=16) == 1
+    assert resolve_threads(None, lanes=8) == 1
+
+
+def test_engine_records_threads(ttsprk_golden, monkeypatch):
+    monkeypatch.delenv(kernels.THREADS_ENV, raising=False)
+    engine = BatchInjectionEngine(ttsprk_golden, kernel="numpy",
+                                  batch=64, threads=5)
+    assert engine.threads == 5
+    auto = BatchInjectionEngine(ttsprk_golden, kernel="numpy", batch=32)
+    assert auto.threads >= 1
+
+
+# -- multithreaded drive parity ----------------------------------------------
+
+@needs_cext
+@pytest.mark.parametrize("threads,batch", (
+    (1, 32),    # single-thread path: bit-identical to the PR 7 loop
+    (4, 17),    # odd remainder: slices of 5/4/4/4 lanes
+    (4, 3),     # threads > lanes: clamps to one slice per lane
+    (8, 64),
+))
+def test_cext_threaded_parity(ttsprk_golden, threads, batch):
+    """Records + PruneStats identical to the scalar engine for any
+    (threads, batch) — lane slices merge in lane order, so the thread
+    count is a pure wall-clock knob."""
+    cfg = QUICK
+    faults = _shard_faults(ttsprk_golden, range(12), cfg)
+    assert faults
+    _assert_cext_parity(ttsprk_golden, faults, cfg, batch=batch,
+                        threads=threads)
+
+
+@needs_cext
+def test_cext_pool_spawns_workers(ttsprk_golden):
+    """A multithreaded drive actually stands up pool workers."""
+    cfg = QUICK
+    faults = _shard_faults(ttsprk_golden, range(6), cfg)
+    engine = BatchInjectionEngine(ttsprk_golden, max_observe=cfg.max_observe,
+                                  mask_check_stride=cfg.mask_check_stride,
+                                  kernel="cext", batch=32, threads=3,
+                                  tail_lanes=0)
+    engine.inject_all(faults)
+    assert kernels.cext_module().pool_size() >= 2
+
+
+_SERIAL_REFERENCE: dict = {}
+
+
+def _serial_reference(golden, cfg):
+    """Scalar-engine records+stats for the hypothesis shard, once."""
+    if "ref" not in _SERIAL_REFERENCE:
+        faults = _shard_faults(golden, range(8), cfg)
+        scalar = InjectionEngine(golden, max_observe=cfg.max_observe,
+                                 mask_check_stride=cfg.mask_check_stride)
+        records = [scalar.inject(f) for f in faults]
+        _SERIAL_REFERENCE["ref"] = (faults, records, scalar.stats.as_dict())
+    return _SERIAL_REFERENCE["ref"]
+
+
+@needs_cext
+@settings(max_examples=12, deadline=None)
+@given(threads=st.integers(min_value=1, max_value=9),
+       batch=st.integers(min_value=1, max_value=48))
+def test_any_threads_batch_reproduces_serial(ttsprk_golden, threads, batch):
+    """Property: every (threads, batch) pair reproduces the serial
+    outcome sequence and pruning stats exactly."""
+    cfg = QUICK
+    faults, records, stats = _serial_reference(ttsprk_golden, cfg)
+    engine = BatchInjectionEngine(ttsprk_golden, max_observe=cfg.max_observe,
+                                  mask_check_stride=cfg.mask_check_stride,
+                                  kernel="cext", batch=batch, threads=threads)
+    assert engine.inject_all(faults) == records
+    assert engine.stats.as_dict() == stats

@@ -5,10 +5,13 @@ import pickle
 import pytest
 
 from repro.faults import (
+    EXECUTOR_CHOICES,
     CampaignConfig,
     CampaignResult,
     cached_campaign,
+    cext_available,
     plan_shards,
+    resolve_executor,
     resolve_workers,
     run_campaign,
     sample_flops,
@@ -79,6 +82,14 @@ class TestSharding:
         assert resolve_workers(None) >= 1
         assert resolve_workers(0) >= 1
 
+    def test_resolve_executor(self):
+        assert EXECUTOR_CHOICES == ("process", "thread")
+        assert resolve_executor(None) == "process"
+        assert resolve_executor("process") == "process"
+        assert resolve_executor("thread") == "thread"
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("greenlet")
+
 
 class TestDeterminism:
     def test_parallel_matches_serial(self, quick_campaign):
@@ -99,6 +110,28 @@ class TestDeterminism:
         assert result.meta["workers"] == 1
         assert result.meta["chunk_flops"] == 50
         assert result.meta["n_shards"] >= 1
+
+    def test_thread_executor_matches_serial(self, quick_campaign):
+        """The in-process shard executor is digest-identical to the
+        serial run — shard merge order is by order_key, never by
+        completion, whichever pool runs the shards."""
+        threaded = run_campaign(CampaignConfig.quick(), workers=3,
+                                chunk_flops=3, executor="thread")
+        assert threaded.records == quick_campaign.records
+        assert threaded.injected == quick_campaign.injected
+        assert threaded.meta["executor"] == "thread"
+        assert threaded.meta["pruning"] == quick_campaign.meta["pruning"]
+
+    @pytest.mark.skipif(not cext_available(),
+                        reason="compiled kernel unavailable")
+    def test_thread_executor_batch_cext_matches_serial(self, quick_campaign):
+        """Thread-pool shard runners × multithreaded compiled kernel:
+        the full fan-out still reproduces the serial digest."""
+        threaded = run_campaign(CampaignConfig.quick(), workers=2,
+                                chunk_flops=3, executor="thread",
+                                batch=32, kernel="cext", threads=2)
+        assert threaded.digest() == quick_campaign.digest()
+        assert threaded.meta["pruning"] == quick_campaign.meta["pruning"]
 
     def test_meta_records_planned_chunk_not_first_shard_len(self):
         """chunk_flops must report the planned chunk size even when the
@@ -156,3 +189,13 @@ class TestCli:
         from repro.cli import build_parser
         args = build_parser().parse_args(["campaign"])
         assert args.workers == 1
+
+    def test_executor_and_threads_flags_parsed(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["campaign", "--executor", "thread", "--cstep-threads", "4"])
+        assert args.executor == "thread"
+        assert args.cstep_threads == 4
+        args = build_parser().parse_args(["campaign"])
+        assert args.executor is None
+        assert args.cstep_threads is None

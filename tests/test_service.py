@@ -115,11 +115,12 @@ def test_kill_mid_lease(tmp_path, reference, n_shards, monkeypatch, batch):
         real_run_shard = run_shard
         state = {"executed": 0}
 
-        def exploding_run_shard(config, shard, batch=None, kernel=None):
+        def exploding_run_shard(config, shard, batch=None, kernel=None,
+                                threads=None):
             if state["executed"] == die_at:
                 raise Killed(f"killed mid-lease in shard {shard.flop_base}")
             state["executed"] += 1
-            return real_run_shard(config, shard, batch, kernel)
+            return real_run_shard(config, shard, batch, kernel, threads)
 
         monkeypatch.setattr(runner_module, "run_shard", exploding_run_shard)
         with pytest.raises(Killed):
@@ -158,6 +159,17 @@ def test_repeated_kills_still_converge(tmp_path, reference):
     final = run_resumable_campaign(CRASH_CONFIG, ledger_dir=ledger_dir,
                                    workers=1, chunk_flops=CRASH_CHUNK)
     assert final.digest() == reference.digest()
+
+
+def test_thread_executor_ledger_matches_reference(tmp_path, reference):
+    """The in-process shard executor runs the same lease/commit loop;
+    digest and pruning stats stay bit-identical to the process pool."""
+    threaded = run_resumable_campaign(
+        CRASH_CONFIG, ledger_dir=str(tmp_path), workers=2,
+        chunk_flops=CRASH_CHUNK, batch=8, executor="thread")
+    assert threaded.digest() == reference.digest()
+    assert threaded.injected == reference.injected
+    assert threaded.meta["executor"] == "thread"
 
 
 def test_uninterrupted_matches_monolithic_and_pruning(tmp_path, reference):
