@@ -1,0 +1,45 @@
+"""Fault-fuzz mode benchmarks: DMR vs voted TMR vs dynamic lockstep.
+
+Times one small-but-real fuzz batch (generated programs, real pipeline
+runs, real checker) per comparison regime so the cost of the voter path
+and the mode-schedule gating is tracked across PRs:
+
+- ``dmr-locked`` — the baseline two-core always-compared regime.
+- ``tmr-locked`` — the voted triple; the overhead over DMR is the
+  VotingChecker (vote + attribution) since only one core is simulated.
+- ``dmr-dynamic`` — split/locked window schedules at 40% duty; cheaper
+  comparisons but a shadow ground-truth check per cycle.
+
+Every timed run also asserts the worker-count-invariant digest contract
+so a benchmark run doubles as a determinism smoke at this scale.
+"""
+
+import pytest
+
+from repro.verify.faultfuzz import run_faultfuzz
+
+SCALE = dict(programs=20, seed=7, faults_per_program=2)
+
+REGIMES = {
+    "dmr-locked": dict(cores=2),
+    "tmr-locked": dict(cores=3),
+    "dmr-dynamic": dict(cores=2, lockstep_mode="dynamic", duty=0.4),
+}
+
+
+@pytest.mark.parametrize("regime", REGIMES, ids=REGIMES)
+def test_faultfuzz_regime_throughput(benchmark, regime):
+    benchmark.group = "faultfuzz-modes"
+    kwargs = REGIMES[regime]
+
+    report = benchmark.pedantic(
+        lambda: run_faultfuzz(**SCALE, **kwargs), rounds=2, iterations=1)
+
+    assert report.outcomes, "fuzz batch sampled no manifest faults"
+    assert report.digest() == run_faultfuzz(
+        **SCALE, workers=2, **kwargs).digest()
+    if kwargs.get("cores") == 3:
+        attribution = report.attribution()
+        assert attribution is not None and attribution["wrong"] == 0
+    if kwargs.get("lockstep_mode") == "dynamic":
+        assert any(d < 1.0 for d in report.mode_duty.values())

@@ -238,6 +238,9 @@ def _cmd_fuzz_inject(args: argparse.Namespace) -> int:
         faults_per_program=args.faults,
         max_cycles=args.max_cycles,
         workers=args.workers,
+        cores=args.cores,
+        lockstep_mode=args.lockstep_mode,
+        duty=args.duty,
         progress=True,
     )
     print(report.report())
@@ -247,12 +250,18 @@ def _cmd_fuzz_inject(args: argparse.Namespace) -> int:
 
 
 def cmd_mutate(args: argparse.Namespace) -> int:
-    from .verify.mutation import run_mutation, write_report
+    from .verify.mutation import default_mutants, run_mutation, write_report
 
     mutants = None
+    if args.kinds:
+        kinds = tuple(args.kinds.split(","))
+        mutants = tuple(m for m in default_mutants() if m.kind in kinds)
+        if not mutants:
+            print(f"no mutants of kind(s) {args.kinds!r}")
+            return 1
     if args.sample:
-        from .verify.mutation import default_mutants
-        mutants = default_mutants()[:args.sample]
+        mutants = (mutants if mutants is not None else default_mutants())
+        mutants = mutants[:args.sample]
     report = run_mutation(
         seed=args.seed,
         max_programs=args.programs,
@@ -269,6 +278,10 @@ def cmd_mutate(args: argparse.Namespace) -> int:
     if rate < args.min_kill_rate:
         failed.append(f"alu/branch kill rate {100 * rate:.1f}% below "
                       f"{100 * args.min_kill_rate:.1f}%")
+    chk_rate = report.kill_rate(("checker",))
+    if chk_rate < args.min_checker_kill_rate:
+        failed.append(f"checker kill rate {100 * chk_rate:.1f}% below "
+                      f"{100 * args.min_checker_kill_rate:.1f}%")
     if report.undocumented_survivors:
         failed.append("undocumented survivors: " + ", ".join(
             r["name"] for r in report.undocumented_survivors))
@@ -373,13 +386,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "toward under-hit event bins between batches")
     p.add_argument("--inject", action="store_true",
                    help="fuzz under fault injection: perturb one core of a "
-                        "DMR pair per program and classify every fault as "
-                        "detected / masked / escape / hung")
+                        "redundant group per program and classify every "
+                        "fault as detected / masked / escape / hung")
     p.add_argument("--faults", type=int, default=3, metavar="K",
                    help="faults injected per program (with --inject)")
     p.add_argument("--workers", type=int, default=1, metavar="N",
                    help="worker processes for --inject (0 = all cores); "
                         "digest is identical for any value")
+    p.add_argument("--cores", type=int, default=2, choices=(2, 3),
+                   help="redundant group size for --inject: 2 = DMR pair, "
+                        "3 = voted TMR triple through the VotingChecker "
+                        "(adds erring-CPU attribution + vote-vs-golden "
+                        "classification)")
+    p.add_argument("--lockstep-mode", choices=("locked", "dynamic"),
+                   default="locked", dest="lockstep_mode",
+                   help="comparison regime for --inject: 'locked' compares "
+                        "every cycle; 'dynamic' gates comparison on a "
+                        "seeded split/locked window schedule and reports "
+                        "masked-window detection delays")
+    p.add_argument("--duty", type=float, default=1.0, metavar="F",
+                   help="target comparison duty cycle in (0, 1] for "
+                        "--lockstep-mode dynamic (1.0 = always locked)")
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
@@ -392,8 +419,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault-fuzz program budget per checker mutant")
     p.add_argument("--sample", type=int, default=0, metavar="K",
                    help="only run the first K mutants of the pool (CI smoke)")
+    p.add_argument("--kinds", default="", metavar="K1,K2",
+                   help="only run mutants of these kinds "
+                        "(comma-separated from alu,branch,checker)")
     p.add_argument("--min-kill-rate", type=float, default=0.9,
                    help="fail unless this fraction of ALU/branch mutants die")
+    p.add_argument("--min-checker-kill-rate", type=float, default=1.0,
+                   dest="min_checker_kill_rate",
+                   help="fail unless this fraction of checker mutants die "
+                        "under the TMR fault-fuzz engine (default 1.0: the "
+                        "voter path leaves no room for documented escapes)")
     p.add_argument("--out", default="BENCH_mutation.json", metavar="FILE",
                    help="detection-strength report path ('' to skip)")
     p.set_defaults(func=cmd_mutate)

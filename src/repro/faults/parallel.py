@@ -53,9 +53,10 @@ from .golden import GoldenTrace
 from .injector import InjectionEngine
 from .models import ErrorRecord
 
-#: spawn_key stream tags (first element of every derived key).
-SAMPLING_STREAM = 0
-SCHEDULE_STREAM = 1
+#: spawn_key stream tags (first element of every derived key); minted
+#: centrally in :mod:`repro.faults.streams`, re-exported here for the
+#: historical import path.
+from .streams import SAMPLING_STREAM, SCHEDULE_STREAM  # noqa: E402
 
 
 def sampling_rng(seed: int) -> np.random.Generator:

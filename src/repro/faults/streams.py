@@ -1,0 +1,44 @@
+"""SeedSequence spawn-key stream registry.
+
+Every derived random stream in the project keys itself with
+``SeedSequence(seed, spawn_key=(TAG, ...))`` so any worker — process,
+thread, or remote host — can reconstruct exactly the stream it needs
+without coordinating with the others.  The tags must stay globally
+unique per seed: two harnesses that ever share a session seed (the
+campaign engine and the fault-fuzz harness already do in tests) would
+otherwise draw correlated schedules.  This module is the single place
+new tags are minted.
+
+==================  ===========================================
+tag                 stream
+==================  ===========================================
+SAMPLING_STREAM     campaign flop sampling
+SCHEDULE_STREAM     campaign per-(benchmark, flop) fault schedule
+FAULT_STREAM        fault-fuzz per-program fault schedule
+TMR_SLOT_STREAM     fault-fuzz per-program erring-core placement
+MODE_STREAM         dynamic-lockstep per-program window schedule
+==================  ===========================================
+"""
+
+from __future__ import annotations
+
+#: Campaign flop-sampling stream (owned by :mod:`repro.faults.parallel`).
+SAMPLING_STREAM = 0
+#: Campaign per-(benchmark, flop) schedule stream (ditto).
+SCHEDULE_STREAM = 1
+#: Fault-fuzz per-program fault schedule (:mod:`repro.verify.faultfuzz`).
+FAULT_STREAM = 2
+#: Fault-fuzz per-program faulty-core slot rotation (3+ core voted mode):
+#: which core of the redundant group carries the perturbation, so the
+#: voter's erring-CPU attribution is exercised at every position.
+TMR_SLOT_STREAM = 3
+#: Dynamic-lockstep per-program mode schedule: the split/locked window
+#: sequence (plus embedded on-demand check windows) a scenario runs
+#: under.  Depends only on ``(seed, program)`` and the duty parameters,
+#: never on the worker that draws it.
+MODE_STREAM = 4
+
+ALL_STREAMS = (SAMPLING_STREAM, SCHEDULE_STREAM, FAULT_STREAM,
+               TMR_SLOT_STREAM, MODE_STREAM)
+
+assert len(set(ALL_STREAMS)) == len(ALL_STREAMS), "stream tags must be unique"

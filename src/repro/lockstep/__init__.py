@@ -15,6 +15,12 @@ from .categories import (
 )
 from .checker import CheckerState, LockstepChecker, VotingChecker
 from .dmr import DmrLockstep
+from .dynamic import (
+    DynamicDmrLockstep,
+    ModeSchedule,
+    ModeWindow,
+    sample_schedule,
+)
 from .tmr import TmrLockstep
 
 __all__ = [
@@ -23,4 +29,5 @@ __all__ = [
     "diverged_ports", "diverged_set", "dsr_to_set", "dsr_value", "expand_ports",
     "CheckerState", "LockstepChecker", "VotingChecker",
     "DmrLockstep", "TmrLockstep",
+    "DynamicDmrLockstep", "ModeSchedule", "ModeWindow", "sample_schedule",
 ]

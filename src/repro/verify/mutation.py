@@ -13,11 +13,18 @@ measures *detection strength* directly by planting known bugs
 * **Checker mutants** break the lockstep comparator itself through the
   late-bound hooks in :mod:`repro.lockstep.checker` — a dropped port
   comparison, a masked bit, an off-by-one in the diverged-SC
-  extraction.  Plain fuzzing can never see these (both cores are
-  fault-free), so each is judged under fuzz-with-fault-injection
-  (:mod:`repro.verify.faultfuzz`): the mutant is killed by the first
-  program whose per-fault outcomes (classification, detection cycle,
-  diverged-SC set) differ from the unmutated baseline.
+  extraction, a broken voter majority.  Plain fuzzing can never see
+  these (both cores are fault-free), so each is judged under
+  fuzz-with-fault-injection (:mod:`repro.verify.faultfuzz`) driving a
+  **voted TMR triple** through the real
+  :class:`~repro.lockstep.checker.VotingChecker`: the mutant is killed
+  by the first program whose per-fault outcomes (classification,
+  detection cycle, diverged-SC set, erring-CPU attribution,
+  voted-value correctness) differ from the unmutated baseline.  The
+  TMR engine subsumes the DMR one — the voter's agree fast path is the
+  same ``port_equal`` hook — while additionally exercising the
+  majority kernel (``vote_value``) and the erring-core attribution
+  that a two-core pair never touches.
 
 The session produces a **detection-strength curve** — fraction of
 mutants killed within N programs — written to ``BENCH_mutation.json``
@@ -39,7 +46,13 @@ from ..cpu.isa import Op
 from ..lockstep import checker as checker_mod
 from . import refmodel as rm
 from .diff import DEFAULT_MAX_CYCLES, cosim
-from .faultfuzz import _golden_run, _state_diff, run_one_fault, sample_faults
+from .faultfuzz import (
+    _golden_run,
+    _state_diff,
+    run_one_fault,
+    sample_faults,
+    sample_slots,
+)
 from .progen import FUZZ_MEM_WORDS, generate_program
 from .refmodel import MASK32, RefModel, _sx
 
@@ -108,10 +121,9 @@ def _diverged_off_by_one(vec_a, vec_b):
                      for sc in range(NUM_SCS) if vec_a[sc] != vec_b[sc])
 
 
-def _vote_min(self, outputs):
-    """A broken majority: always picks the smallest per-SC value."""
-    from ..lockstep.categories import NUM_SCS
-    return tuple(min(o[sc] for o in outputs) for sc in range(NUM_SCS))
+def _vote_value_min(values):
+    """A broken majority kernel: always resolves to the smallest value."""
+    return min(values)
 
 
 def default_mutants() -> tuple[Mutant, ...]:
@@ -162,13 +174,8 @@ def default_mutants() -> tuple[Mutant, ...]:
                "DSR diverged-SC indices shifted up by one",
                "diverged_set", _diverged_off_by_one),
         Mutant("chk_voter_min_majority", "checker",
-               "TMR voter picks the minimum instead of the majority",
-               "VotingChecker.vote", _vote_min,
-               escape_rationale="the fault-fuzz harness drives a DMR pair "
-               "through LockstepChecker only; the TMR voter is never on the "
-               "detection path, so no DMR fuzz budget can kill a voter-only "
-               "mutant — killing it needs an MMR fault-fuzz harness "
-               "(tracked in ROADMAP)"),
+               "TMR voter resolves the minimum instead of the majority",
+               "vote_value", _vote_value_min),
     )
 
 
@@ -197,13 +204,18 @@ class _FaultSession:
     The golden trace, reference final state and the *unmutated*
     baseline outcomes of each program are computed once and reused by
     every checker mutant — only the mutated re-run is per-mutant.
+    ``cores=3`` runs each fault as a voted triple through the
+    :class:`~repro.lockstep.checker.VotingChecker` (the engine checker
+    mutants are judged under); ``cores=2`` keeps the historical DMR
+    pair.
     """
 
     def __init__(self, seed: int, *, faults_per_program: int = 4,
-                 max_cycles: int = DEFAULT_MAX_CYCLES):
+                 max_cycles: int = DEFAULT_MAX_CYCLES, cores: int = 2):
         self.seed = seed
         self.faults_per_program = faults_per_program
         self.max_cycles = max_cycles
+        self.cores = cores
         self._ctx: dict[int, tuple | None] = {}
         self._baseline: dict[int, tuple] = {}
 
@@ -239,11 +251,15 @@ class _FaultSession:
         if ctx is None:
             return None
         program, stimulus, faults, g_ports, g_frozen, ref_state, ref_words = ctx
+        slots = sample_slots(self.seed, i, self.faults_per_program, self.cores)
         fps = []
-        for fault in faults:
+        for fault, slot in zip(faults, slots):
             o = run_one_fault(program, stimulus, fault, g_ports, g_frozen,
-                              ref_state, ref_words, program_index=i)
-            fps.append((o.classification, o.detect_cycle, tuple(sorted(o.diverged))))
+                              ref_state, ref_words, program_index=i,
+                              cores=self.cores, faulty_slot=slot)
+            fps.append((o.classification, o.detect_cycle,
+                        tuple(sorted(o.diverged)), o.erring_cpu,
+                        o.vote_golden))
         return tuple(fps)
 
     def baseline(self, i: int) -> tuple | None:
@@ -304,21 +320,35 @@ class MutationReport:
             return 1.0
         return sum(r["killed_at"] is not None for r in pool) / len(pool)
 
-    def curve(self) -> list[tuple[int, float]]:
-        """Detection strength: fraction of mutants killed within N."""
-        n = max(len(self.results), 1)
-        return [(p, sum(1 for r in self.results
+    def curve(self, kinds: tuple[str, ...] | None = None
+              ) -> list[tuple[int, float]]:
+        """Detection strength: fraction of mutants killed within N.
+
+        ``kinds`` restricts the pool (e.g. ``("checker",)`` gives the
+        TMR fault-fuzz detection-strength curve); the horizon is the
+        matching program budget.
+        """
+        pool = [r for r in self.results
+                if kinds is None or r["kind"] in kinds]
+        n = max(len(pool), 1)
+        horizon = (self.checker_programs if kinds == ("checker",)
+                   else self.max_programs)
+        return [(p, sum(1 for r in pool
                         if r["killed_at"] is not None and r["killed_at"] <= p) / n)
-                for p in CURVE_POINTS if p <= self.max_programs]
+                for p in CURVE_POINTS if p <= horizon]
 
     def to_json(self) -> dict:
         return {
-            "schema": 1,
+            "schema": 2,
             "seed": self.seed,
             "max_programs": self.max_programs,
             "checker_programs": self.checker_programs,
             "mutants": self.results,
             "curve": [[p, round(f, 4)] for p, f in self.curve()],
+            #: checker mutants only, killed through the voted TMR
+            #: fault-fuzz engine — the voter-path detection strength.
+            "checker_tmr_curve": [[p, round(f, 4)]
+                                  for p, f in self.curve(("checker",))],
             "kill_rate": round(self.kill_rate(), 4),
             "alu_branch_kill_rate": round(self.kill_rate(("alu", "branch")), 4),
             "checker_kill_rate": round(self.kill_rate(("checker",)), 4),
@@ -355,29 +385,39 @@ def run_mutation(seed: int = 0, *, max_programs: int = 200,
                  faults_per_program: int = 4,
                  mutants: tuple[Mutant, ...] | None = None,
                  max_cycles: int = DEFAULT_MAX_CYCLES,
+                 checker_cores: int = 3,
                  progress: bool = False) -> MutationReport:
     """Run the full mutation-testing session.
 
     ALU/branch mutants fuzz up to ``max_programs`` plain cosim
     programs; checker mutants fault-fuzz up to ``checker_programs``
-    (each costs a golden run plus ``faults_per_program`` fault runs,
-    shared across mutants via one :class:`_FaultSession`).
+    voted ``checker_cores``-way triples (each costs a golden run plus
+    ``faults_per_program`` fault runs, shared across mutants via one
+    :class:`_FaultSession`).  The TMR engine is the default because it
+    is strictly stronger: it keeps the ``port_equal`` fast path on the
+    detection path *and* exercises the voter majority / attribution
+    hooks a DMR pair never reaches.
     """
     pool = mutants if mutants is not None else default_mutants()
     session = _FaultSession(seed, faults_per_program=faults_per_program,
-                            max_cycles=max_cycles)
+                            max_cycles=max_cycles, cores=checker_cores)
+    engine_name = (f"faultfuzz-tmr{checker_cores}" if checker_cores > 2
+                   else "faultfuzz-dmr")
     results: list[dict] = []
     t0 = time.perf_counter()
     for mutant in pool:
         if mutant.kind == "checker":
             killed_at = kill_by_faultfuzz(mutant, session, checker_programs)
+            engine = engine_name
         else:
             killed_at = kill_by_cosim(mutant, seed, max_programs,
                                       max_cycles=max_cycles)
+            engine = "cosim"
         results.append({
             "name": mutant.name, "kind": mutant.kind,
             "description": mutant.description,
             "killed_at": killed_at,
+            "engine": engine,
             "escape_rationale": mutant.escape_rationale,
         })
         if progress:
@@ -389,7 +429,7 @@ def run_mutation(seed: int = 0, *, max_programs: int = 200,
         checker_programs=checker_programs, results=results,
         wall_seconds=time.perf_counter() - t0,
         meta={"faults_per_program": faults_per_program,
-              "n_mutants": len(pool)})
+              "n_mutants": len(pool), "checker_cores": checker_cores})
 
 
 def write_report(report: MutationReport,

@@ -1,0 +1,30 @@
+; fault-fuzz scenario corpus: dynamic-lockstep replay 'dyn_split_window_delay'
+; a stuck-at-1 register fault diverges at cycle 18 inside a split
+; window (no comparison): the shadow records first_divergence=18 and
+; the checker must re-detect at the first locked cycle (38), i.e. a
+; 20-cycle masked-window delay
+; scenario: cores=2 mode=dynamic
+; windows: locked:0:8 split:8:30 locked:38:62
+; fault: reg=rf1 bit=3 kind=stuck1 cycle=10
+; expect: classification=detected detect_cycle=38 first_divergence=18 window_delay=20 window=locked
+; stimulus: 0x0
+_start:
+    jal  r0, main
+.org 0x8
+handler:
+    csrr r1, 4
+    out  r1, 7
+    halt
+main:
+    addi r1, r0, 0
+    addi r2, r0, 1
+    addi r3, r0, 25
+    addi r4, r0, 1024
+loop:
+    add  r1, r1, r2
+    st   r1, 0(r4)
+    addi r4, r4, 4
+    addi r2, r2, 1
+    bne  r2, r3, loop
+    out  r1, 0
+    halt

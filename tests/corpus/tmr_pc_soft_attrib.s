@@ -1,0 +1,28 @@
+; fault-fuzz scenario corpus: voted-triple replay 'tmr_pc_soft_attrib'
+; a PC-bit soft flip in core 2 of a TMR group: the VotingChecker must
+; latch on the first divergent fetch, blame the planted core and
+; resolve the vote to the golden value (forward recovery would be exact)
+; scenario: cores=3 slot=2
+; fault: reg=pc bit=2 kind=soft cycle=12
+; expect: classification=detected detect_cycle=13 erring_cpu=2 vote_golden=1 diverged=0
+; stimulus: 0x0
+_start:
+    jal  r0, main
+.org 0x8
+handler:
+    csrr r1, 4
+    out  r1, 7
+    halt
+main:
+    addi r1, r0, 0
+    addi r2, r0, 1
+    addi r3, r0, 25
+    addi r4, r0, 1024
+loop:
+    add  r1, r1, r2
+    st   r1, 0(r4)
+    addi r4, r4, 4
+    addi r2, r2, 1
+    bne  r2, r3, loop
+    out  r1, 0
+    halt

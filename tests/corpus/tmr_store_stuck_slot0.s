@@ -1,0 +1,28 @@
+; fault-fuzz scenario corpus: voted-triple replay 'tmr_store_stuck_slot0'
+; a stuck-at-1 on a store-data flop with the faulty core at slot 0:
+; attribution must name slot 0 (the voter may not default to "not the
+; reference core") and the diverged SC is the store-data nibble
+; scenario: cores=3 slot=0
+; fault: reg=dmc_wdata bit=1 kind=stuck1 cycle=10
+; expect: classification=detected detect_cycle=10 erring_cpu=0 vote_golden=1 diverged=14
+; stimulus: 0x0
+_start:
+    jal  r0, main
+.org 0x8
+handler:
+    csrr r1, 4
+    out  r1, 7
+    halt
+main:
+    addi r1, r0, 0
+    addi r2, r0, 1
+    addi r3, r0, 17
+    addi r4, r0, 1024
+loop:
+    add  r1, r1, r2
+    st   r1, 0(r4)
+    addi r4, r4, 4
+    addi r2, r2, 1
+    bne  r2, r3, loop
+    out  r1, 0
+    halt

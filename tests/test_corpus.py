@@ -6,6 +6,15 @@ future real fuzz find joins it).  Replaying them assembler → pipeline
 → reference model in tier-1 means the exact program shapes that once
 exposed a divergence can never silently regress — if one fails here, a
 previously-fixed bug is back.
+
+Entries carrying ``; scenario:`` headers additionally replay through
+the fault-fuzz harness: the headed fault is injected into the headed
+core slot of a voted triple (or a DMR pair under the headed dynamic
+window schedule) and the outcome — classification, detection cycle,
+erring-CPU attribution, voted-value correctness, masked-window delay —
+must match the headed expectations exactly.  These pin the voter path
+and the dynamic-lockstep gating the same way the plain entries pin the
+cosim fence.
 """
 
 from __future__ import annotations
@@ -15,15 +24,45 @@ from pathlib import Path
 import pytest
 
 from repro.cpu.assembler import assemble
+from repro.cpu.memory import InputStream, Memory
+from repro.cpu.units import FlopRef
+from repro.faults.models import Fault, FaultKind
+from repro.lockstep.dynamic import ModeSchedule, ModeWindow
 from repro.verify import cosim
 from repro.verify.diff import load_repro
+from repro.verify.faultfuzz import (
+    FUZZ_MEM_WORDS,
+    _golden_run,
+    _state_diff,
+    run_one_fault,
+)
+from repro.verify.refmodel import RefModel
 
 CORPUS = Path(__file__).parent / "corpus"
 ENTRIES = sorted(CORPUS.glob("*.s"))
 
 
+def _scenario_header(source: str) -> dict[str, str] | None:
+    """Parse the ``; scenario:`` / ``; fault:`` / ... header block."""
+    meta: dict[str, str] = {}
+    for line in source.splitlines():
+        if not line.startswith(";"):
+            break
+        body = line[1:].strip()
+        for key in ("scenario", "windows", "fault", "expect"):
+            prefix = key + ":"
+            if body.startswith(prefix):
+                meta[key] = body[len(prefix):].strip()
+    return meta if "scenario" in meta else None
+
+
+SCENARIOS = [p for p in ENTRIES
+             if _scenario_header(load_repro(p)[0]) is not None]
+
+
 def test_corpus_is_populated():
-    assert len(ENTRIES) >= 6, "repro corpus went missing"
+    assert len(ENTRIES) >= 9, "repro corpus went missing"
+    assert len(SCENARIOS) >= 3, "scenario (TMR/dynamic) entries went missing"
 
 
 @pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
@@ -43,3 +82,57 @@ def test_corpus_program_is_minimal(path: Path):
     # a fast regression corpus.
     program = assemble(load_repro(path)[0])
     assert len(program.words) < 64, f"{path.name} is not a shrunken repro"
+
+
+def _kv(spec: str) -> dict[str, str]:
+    return dict(token.split("=", 1) for token in spec.split())
+
+
+@pytest.mark.parametrize("path", SCENARIOS, ids=lambda p: p.stem)
+def test_scenario_replays_to_headed_outcome(path: Path):
+    source, stimulus = load_repro(path)
+    meta = _scenario_header(source)
+    scenario = _kv(meta["scenario"])
+    fault_spec = _kv(meta["fault"])
+    expect = _kv(meta["expect"])
+
+    fault = Fault(FlopRef(fault_spec["reg"], int(fault_spec["bit"])),
+                  FaultKind(fault_spec["kind"]), int(fault_spec["cycle"]))
+    schedule = None
+    if "windows" in meta:
+        windows = []
+        for token in meta["windows"].split():
+            kind, start, length = token.split(":")
+            windows.append(ModeWindow(int(start), int(length), kind))
+        schedule = ModeSchedule(windows)
+
+    program = assemble(source)
+    g_ports, g_frozen, g_cpu, _ = _golden_run(program, stimulus, 30_000)
+    ref = RefModel(Memory.from_program(program, size_words=FUZZ_MEM_WORDS),
+                   InputStream(stimulus), entry=program.entry)
+    ref.run(max_steps=30_000)
+    ref_state, ref_words = ref.arch_state(), ref.mem.words
+    assert g_cpu.halted and ref.halted
+    assert not _state_diff(g_cpu, ref_state, ref_words), \
+        f"{path.name}: fault-free run no longer matches the reference"
+
+    outcome = run_one_fault(
+        program, stimulus, fault, g_ports, g_frozen, ref_state, ref_words,
+        cores=int(scenario.get("cores", 2)),
+        faulty_slot=(int(scenario["slot"]) if "slot" in scenario else None),
+        schedule=schedule)
+
+    assert outcome.classification == expect["classification"], path.name
+    checks = {
+        "detect_cycle": lambda v: outcome.detect_cycle == int(v),
+        "erring_cpu": lambda v: outcome.erring_cpu == int(v),
+        "vote_golden": lambda v: outcome.vote_golden is bool(int(v)),
+        "diverged": lambda v: sorted(outcome.diverged)
+        == [int(x) for x in v.split(",")],
+        "first_divergence": lambda v: outcome.first_divergence == int(v),
+        "window_delay": lambda v: outcome.window_delay == int(v),
+        "window": lambda v: outcome.detect_window == v,
+    }
+    for key, check in checks.items():
+        if key in expect:
+            assert check(expect[key]), (path.name, key, expect[key], outcome)

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.cpu import NUM_SCS, assemble
 from repro.cpu.memory import InputStream
 from repro.lockstep import (
+    PORT_FIELDS,
     SIGNAL_CATEGORIES,
     DmrLockstep,
     LockstepChecker,
@@ -15,8 +16,14 @@ from repro.lockstep import (
     diverged_set,
     dsr_to_set,
     dsr_value,
+    expand_ports,
 )
 from tests.conftest import SUM_LOOP
+
+#: Arbitrary-but-valid compact port tuples: each entry within its
+#: SC-visible bit width (expand_ports is injective on these).
+_port_tuple = st.tuples(
+    *[st.integers(0, (1 << f.width) - 1) for f in PORT_FIELDS])
 
 
 @pytest.fixture
@@ -121,6 +128,67 @@ class TestVoting:
         out = tuple(range(NUM_SCS))
         with pytest.raises(ValueError):
             checker.compare([out, out])
+
+
+class TestVoterCompactParity:
+    """The compact-entry vote must latch *identical* state to the
+    full 62-SC expansion — the equivalence that makes the fast path a
+    fix and not a behaviour change."""
+
+    @staticmethod
+    def _latched_states(group):
+        compact = VotingChecker(3)
+        expanded = VotingChecker(3)
+        latched_c = compact.compare(list(group))
+        latched_e = expanded.compare([expand_ports(o) for o in group])
+        assert latched_c == latched_e
+        return compact.state, expanded.state
+
+    @staticmethod
+    def _assert_equivalent(cs, es):
+        assert cs.error == es.error
+        if not cs.error:
+            return
+        assert cs.diverged == es.diverged
+        assert cs.dsr == es.dsr
+        assert cs.erring_cpu == es.erring_cpu
+        assert cs.error_cycle == es.error_cycle
+        voted = (cs.voted if len(cs.voted) == NUM_SCS
+                 else expand_ports(cs.voted))
+        assert voted == es.voted
+
+    @given(base=_port_tuple, other=_port_tuple, slot=st.integers(0, 2))
+    def test_single_erring_core(self, base, other, slot):
+        # The TMR case the fast path exists for: a strict per-entry
+        # majority always exists with one deviating core.
+        group = [base, base, base]
+        group[slot] = other
+        self._assert_equivalent(*self._latched_states(group))
+
+    @given(a=_port_tuple, b=_port_tuple, c=_port_tuple)
+    def test_arbitrary_triples_fall_back_equivalently(self, a, b, c):
+        # Byzantine multi-core cycles may lack a per-entry majority;
+        # the fallback to full expansion must agree too.
+        self._assert_equivalent(*self._latched_states([a, b, c]))
+
+    def test_compact_vote_ports_exactness(self):
+        base = tuple((1 << f.width) - 1 for f in PORT_FIELDS)
+        bad = (0,) + base[1:]
+        voter = VotingChecker(3)
+        assert voter.vote_ports([base, bad, base]) == base
+        # Three distinct values on entry 0 -> no strict majority ->
+        # no compact vote.
+        assert voter.vote_ports([base, bad, (1,) + base[1:]]) is None
+
+    def test_compact_detection_keeps_attribution_tiebreak(self):
+        # Worst-diverged core wins even when several disagree with the
+        # vote; ties resolve to the first (matching the expanded path).
+        base = tuple(0 for _ in PORT_FIELDS)
+        one_sc = (1,) + base[1:]               # 1 diverged SC (imc_addr run)
+        many_sc = base[:3] + (0xFFFF,) + base[4:]   # 4 diverged dmc_addr SCs
+        voter = VotingChecker(3)
+        assert voter.compare([one_sc, base, many_sc])
+        assert voter.state.erring_cpu == 2
 
 
 class TestDmr:

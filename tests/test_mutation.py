@@ -58,17 +58,20 @@ def test_checker_mutant_applies_and_reverts_cleanly():
     assert not checker_mod.port_equal(a, b)
 
 
-def test_voter_mutant_patches_the_class():
+def test_voter_mutant_patches_the_majority_hook():
     mutant = _by_name("chk_voter_min_majority")
-    original = checker_mod.VotingChecker.vote
+    original = checker_mod.vote_value
     revert = mutant.apply()
     try:
+        assert checker_mod.vote_value((5, 5, 1)) == 1   # min, not majority
         voter = checker_mod.VotingChecker(3)
         voted = voter.vote([(5,) * 62, (5,) * 62, (1,) * 62])
-        assert voted == (1,) * 62      # min, not the 5-majority
+        assert voted == (1,) * 62      # both voting paths resolve through it
+        assert voter.vote_ports([(5,) * 18, (5,) * 18, (1,) * 18]) == (1,) * 18
     finally:
         revert()
-    assert checker_mod.VotingChecker.vote is original
+    assert checker_mod.vote_value is original
+    assert checker_mod.vote_value((5, 5, 1)) == 5
 
 
 def test_pool_shape():
@@ -76,10 +79,9 @@ def test_pool_shape():
     kinds = {m.kind for m in pool}
     assert kinds == {"alu", "branch", "checker"}
     assert len({m.name for m in pool}) == len(pool)
-    # Exactly one mutant is a pre-documented escape (the TMR voter,
-    # which the DMR fault-fuzz harness structurally cannot reach).
-    assert [m.name for m in pool if m.escape_rationale] \
-        == ["chk_voter_min_majority"]
+    # Since the TMR fault-fuzz engine, every mutant in the pool is
+    # killable — documented escapes would be a regression.
+    assert [m.name for m in pool if m.escape_rationale] == []
 
 
 # ---------------------------------------------------------------------------
@@ -110,10 +112,29 @@ def test_faultfuzz_kills_checker_mutants():
         assert killed_at is not None and killed_at <= 20, name
 
 
-def test_faultfuzz_cannot_kill_voter_mutant():
-    session = _FaultSession(0, faults_per_program=4)
+def test_dmr_session_cannot_kill_voter_mutant():
+    # The LockstepChecker never touches the majority kernel: a DMR
+    # session is structurally blind to the voter mutant — exactly why
+    # checker mutants are judged under TMR.
+    session = _FaultSession(0, faults_per_program=4, cores=2)
     assert kill_by_faultfuzz(_by_name("chk_voter_min_majority"),
                              session, 10) is None
+
+
+def test_tmr_session_kills_voter_mutant():
+    session = _FaultSession(0, faults_per_program=4, cores=3)
+    killed_at = kill_by_faultfuzz(_by_name("chk_voter_min_majority"),
+                                  session, 20)
+    assert killed_at is not None and killed_at <= 20
+
+
+def test_tmr_session_kills_dmr_killable_mutants_too():
+    # The voter's agree fast path is the same port_equal hook, so the
+    # TMR engine subsumes the DMR one on the historical mutants.
+    session = _FaultSession(0, faults_per_program=4, cores=3)
+    for name in ("chk_drop_io_out", "chk_dsr_off_by_one"):
+        killed_at = kill_by_faultfuzz(_by_name(name), session, 20)
+        assert killed_at is not None and killed_at <= 20, name
 
 
 # ---------------------------------------------------------------------------
@@ -123,7 +144,7 @@ def test_faultfuzz_cannot_kill_voter_mutant():
 @pytest.fixture(scope="module")
 def small_report():
     # A trimmed pool keeps the module fast: two ALU, one branch, two
-    # checker mutants including the documented voter escape.
+    # checker mutants including the TMR-only voter one.
     names = ("alu_xor_flip", "alu_sub_swapped", "br_beq_inverted",
              "chk_drop_io_out", "chk_voter_min_majority")
     pool = tuple(m for m in default_mutants() if m.name in names)
@@ -133,11 +154,14 @@ def small_report():
 
 def test_report_accounts_for_every_mutant(small_report):
     assert len(small_report.results) == 5
-    assert len(small_report.killed) == 4
-    assert [r["name"] for r in small_report.survivors] \
-        == ["chk_voter_min_majority"]
+    assert len(small_report.killed) == 5
+    assert small_report.survivors == []
     assert small_report.undocumented_survivors == []
     assert small_report.kill_rate(("alu", "branch")) == 1.0
+    assert small_report.kill_rate(("checker",)) == 1.0
+    engines = {r["name"]: r["engine"] for r in small_report.results}
+    assert engines["alu_xor_flip"] == "cosim"
+    assert engines["chk_voter_min_majority"] == "faultfuzz-tmr3"
 
 
 def test_detection_curve_is_monotone(small_report):
@@ -146,20 +170,32 @@ def test_detection_curve_is_monotone(small_report):
     fractions = [f for _, f in curve]
     assert fractions == sorted(fractions)
     assert all(0.0 <= f <= 1.0 for f in fractions)
-    # Everything killable in this pool dies within the budget.
-    assert fractions[-1] == pytest.approx(4 / 5)
+    # Everything in this pool dies within the budget.
+    assert fractions[-1] == pytest.approx(1.0)
+
+
+def test_checker_curve_tracks_checker_mutants_only(small_report):
+    curve = small_report.curve(("checker",))
+    assert curve
+    # Horizon = checker_programs (10), so no points beyond it.
+    assert all(p <= 10 for p, _ in curve)
+    assert curve[-1][1] == pytest.approx(1.0)
 
 
 def test_report_json_round_trips(small_report, tmp_path):
     path = write_report(small_report, tmp_path / "BENCH_mutation.json")
     data = json.loads(path.read_text())
-    assert data["schema"] == 1
+    assert data["schema"] == 2
     assert len(data["mutants"]) == 5
     assert data["alu_branch_kill_rate"] == 1.0
+    assert data["checker_kill_rate"] == 1.0
     assert data["undocumented_survivors"] == []
-    assert data["documented_escapes"][0]["name"] == "chk_voter_min_majority"
+    assert data["documented_escapes"] == []
     assert all(isinstance(p, int) and 0 <= f <= 1
                for p, f in data["curve"])
+    assert all(isinstance(p, int) and 0 <= f <= 1
+               for p, f in data["checker_tmr_curve"])
+    assert data["meta"]["checker_cores"] == 3
 
 
 def test_session_leaves_tables_pristine(small_report):

@@ -1,0 +1,135 @@
+"""Voted-triple (TMR) fault-fuzz: digests, attribution, voter parity.
+
+The load-bearing assertions: a 3-core session's digest is bit-identical
+for any worker count (the slot stream is keyed, not sequential), the
+voter blames the planted core on every detection and its resolved
+value equals golden (single-fault TMR must attribute and recover
+perfectly — that is the point of the third core), the TMR session's
+*classifications* match the DMR session's fault for fault (the voter
+adds information, it must not change detection), and the majority
+kernel on the detection path is the real mutable ``vote_value`` hook.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.lockstep.checker as checker_mod
+from repro.verify.faultfuzz import run_faultfuzz, sample_slots
+
+SMALL = dict(programs=12, seed=0, faults_per_program=3)
+
+
+@pytest.fixture(scope="module")
+def tmr_session():
+    return run_faultfuzz(**SMALL, cores=3)
+
+
+@pytest.fixture(scope="module")
+def dmr_session():
+    return run_faultfuzz(**SMALL)
+
+
+# ---------------------------------------------------------------------------
+# Slot sampling.
+# ---------------------------------------------------------------------------
+
+def test_sample_slots_keyed_not_sequential():
+    a = sample_slots(7, 3, 6, 3)
+    assert a == sample_slots(7, 3, 6, 3)
+    assert sample_slots(7, 4, 6, 3) != a or sample_slots(8, 3, 6, 3) != a
+    assert all(0 <= s < 3 for s in a)
+
+
+def test_dmr_keeps_the_fixed_historical_slot():
+    assert sample_slots(0, 0, 5, 2) == [1] * 5
+
+
+def test_session_covers_every_slot(tmr_session):
+    slots = {o.faulty_core for o in tmr_session.outcomes}
+    assert slots == {0, 1, 2}
+
+
+# ---------------------------------------------------------------------------
+# Digest contract.
+# ---------------------------------------------------------------------------
+
+def test_tmr_digest_identical_for_any_worker_count(tmr_session):
+    sharded = run_faultfuzz(**SMALL, cores=3, workers=2)
+    assert sharded.digest() == tmr_session.digest()
+    order = [o.program for o in sharded.outcomes]
+    assert order == sorted(order)
+
+
+def test_tmr_and_dmr_digests_differ(tmr_session, dmr_session):
+    # Same faults, different regime: the attribution fields must be
+    # covered by the digest.
+    assert tmr_session.digest() != dmr_session.digest()
+
+
+# ---------------------------------------------------------------------------
+# Attribution and voter-value correctness.
+# ---------------------------------------------------------------------------
+
+def test_voter_blames_the_planted_core(tmr_session):
+    detected = [o for o in tmr_session.outcomes
+                if o.classification == "detected"]
+    assert detected, "session too small to detect anything?"
+    for o in detected:
+        assert o.erring_cpu is not None
+        assert o.attribution_ok is True, (o.erring_cpu, o.faulty_core)
+        # Two agreeing golden cores: the majority IS the golden value,
+        # so forward recovery from the vote would be exact.
+        assert o.vote_golden is True
+    accuracy = tmr_session.attribution()
+    assert accuracy == {"correct": len(detected), "wrong": 0}
+
+
+def test_undetected_faults_carry_no_attribution(tmr_session):
+    for o in tmr_session.outcomes:
+        if o.classification != "detected":
+            assert o.erring_cpu is None
+            assert o.attribution_ok is None
+            assert o.vote_golden is None
+
+
+def test_tmr_classifications_match_dmr(tmr_session, dmr_session):
+    """The voter must not change *what* is detected, only add the
+    attribution: with two fault-free slots the faulty-vs-majority
+    divergence is exactly the DMR faulty-vs-golden divergence,
+    wherever the fault lands in the group."""
+    assert len(tmr_session.outcomes) == len(dmr_session.outcomes)
+    for t, d in zip(tmr_session.outcomes, dmr_session.outcomes):
+        assert (t.program, t.flop, t.kind, t.inject_cycle) \
+            == (d.program, d.flop, d.kind, d.inject_cycle)
+        assert t.classification == d.classification
+        assert t.detect_cycle == d.detect_cycle
+        assert t.diverged == d.diverged
+        assert t.escape_detail == d.escape_detail
+
+
+def test_report_renders_attribution_line(tmr_session):
+    text = tmr_session.report()
+    assert "3-core voted" in text
+    assert "erring-CPU attribution:" in text
+    assert "digest:" in text
+
+
+# ---------------------------------------------------------------------------
+# The voted path runs the real (mutable) majority kernel.
+# ---------------------------------------------------------------------------
+
+def test_tmr_fuzz_goes_through_vote_value_hook(monkeypatch):
+    """A min-instead-of-majority kernel must change outcomes — proving
+    the session's error-cycle votes flow through the mutable
+    ``vote_value`` hook on both the compact and expanded paths."""
+    baseline = run_faultfuzz(programs=10, seed=1, faults_per_program=3,
+                             cores=3)
+    monkeypatch.setattr(checker_mod, "vote_value", lambda values: min(values))
+    broken = run_faultfuzz(programs=10, seed=1, faults_per_program=3,
+                           cores=3)
+    assert broken.digest() != baseline.digest()
+    # Whenever the faulty value undercuts golden, min() resolves to it:
+    # the vote stops matching golden and/or the attribution flips.
+    assert any(o.vote_golden is False for o in broken.outcomes)
+    assert all(o.vote_golden is not False for o in baseline.outcomes)
